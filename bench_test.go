@@ -1,0 +1,177 @@
+package cosmos
+
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (BenchmarkFig02..BenchmarkFig17, BenchmarkTab1..Tab4) plus
+// micro-benchmarks of the core structures. The figure benches run the same
+// code paths as `cosmos-bench -exp <id>` at a reduced scale so they finish
+// in benchmark time; run `go run ./cmd/cosmos-bench -exp all -scale 1` for
+// the full-scale reproduction recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"cosmos/internal/cache"
+	"cosmos/internal/core"
+	"cosmos/internal/ctr"
+	"cosmos/internal/enclave"
+	"cosmos/internal/experiments"
+	"cosmos/internal/memsys"
+	"cosmos/internal/rl"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	lab := experiments.NewLab(experiments.SmallScale())
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.Run(lab)
+		if t.String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig02(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig04(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig05(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkTab1(b *testing.B)  { benchExperiment(b, "tab1") }
+func BenchmarkFig08(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig09(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkTab2(b *testing.B)  { benchExperiment(b, "tab2") }
+func BenchmarkTab3(b *testing.B)  { benchExperiment(b, "tab3") }
+func BenchmarkTab4(b *testing.B)  { benchExperiment(b, "tab4") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// --- micro-benchmarks: core structures ---
+
+func BenchmarkCacheAccessLRU(b *testing.B) {
+	c := cache.New("bench", 512<<10, 16, cache.NewLRU())
+	state := uint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		c.Access(state%100000, state&1 == 0, uint16(state>>8))
+	}
+}
+
+func BenchmarkCacheAccessLCR(b *testing.B) {
+	lcr := cache.NewLCR()
+	c := cache.New("bench", 128<<10, 16, lcr)
+	state := uint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		r := c.Access(state%100000, false, 0)
+		lcr.SetHint(r.Set, r.Way, state&2 == 0, uint8(state))
+	}
+}
+
+func BenchmarkQTableUpdate(b *testing.B) {
+	t := rl.NewQTable(16384, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := i & 16383
+		t.Update(s, i&1, 10, t.MaxQ(s), 0.09, 0.88)
+	}
+}
+
+func BenchmarkHashState(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += rl.HashState(uint64(i)*64, 16384)
+	}
+	_ = sink
+}
+
+func BenchmarkCETObserve(b *testing.B) {
+	lp := core.NewLocalityPredictor(core.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lp.Observe(uint64(i) % 100000)
+	}
+}
+
+func BenchmarkDataPredict(b *testing.B) {
+	dp := core.NewDataPredictor(core.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := dp.Predict(uint64(i) * 64)
+		dp.Learn(p, i&1 == 0)
+	}
+}
+
+func BenchmarkMorphCtrIncrement(b *testing.B) {
+	st := ctr.NewStore(ctr.Morph())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Increment(uint64(i) % 4096)
+	}
+}
+
+func BenchmarkEnclaveWriteRead(b *testing.B) {
+	m, err := enclave.New(1<<20, []byte("0123456789abcdef"), ctr.Morph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line enclave.Line
+	copy(line[:], "benchmark payload")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := memsys.Addr(uint64(i) % (1 << 14) * 64)
+		if err := m.Write(addr, line); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimStepCosmos(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.MC.MemBytes = 1 << 30
+	s := sim.New(cfg, secmem.DesignCosmos())
+	gen := trace.NewUniform(memsys.Region{Base: 1 << 28, Size: 256 << 20, Elem: 1}, 20, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := gen.Next()
+		s.Step(a)
+	}
+}
+
+func BenchmarkWorkloadGenDFS(b *testing.B) {
+	gen, err := workloads.Build("DFS", workloads.Options{Threads: 4, GraphNodes: 100_000, GraphDegree: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer trace.CloseIfCloser(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := gen.Next(); !ok {
+			b.StopTimer()
+			gen, _ = workloads.Build("DFS", workloads.Options{Threads: 4, GraphNodes: 100_000, GraphDegree: 6, Seed: 1})
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command cosmos-bench regenerates the paper's tables and figures.
+//
+//	cosmos-bench -exp fig10            # one experiment at full scale
+//	cosmos-bench -exp all -scale 0.25  # everything, quarter scale
+//	cosmos-bench -list                 # available experiment ids
+//
+// Runs are memoised within one invocation, so composite sweeps (fig10-14
+// share the same simulations) cost each configuration once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cosmos/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmos-bench: ")
+
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig2..fig17, tab1..tab4, abl-*, all)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction, 0 = smoke)")
+		csv   = flag.Bool("csv", false, "emit CSV")
+		out   = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
+		par   = flag.Int("parallel", runtime.NumCPU(), "workers for the evaluation-matrix prewarm (-exp all)")
+	)
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lab := experiments.NewLab(experiments.Scaled(*scale))
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		t := e.Run(lab)
+		if *out != "" {
+			path := filepath.Join(*out, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", e.ID, e.Title)
+			fmt.Print(t.CSV())
+		} else {
+			t.Write(os.Stdout)
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+
+	if *exp == "all" {
+		if *par > 1 {
+			start := time.Now()
+			experiments.Prewarm(lab, *par)
+			fmt.Printf("(prewarmed evaluation matrix with %d workers in %.1fs)\n\n", *par, time.Since(start).Seconds())
+		}
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run(e)
+}

@@ -1,0 +1,130 @@
+// Command cosmos-sim runs one workload on one secure-memory design and
+// prints the full metric set: IPC, miss rates, CTR cache behaviour, DRAM
+// traffic decomposition, predictor statistics and SMAT.
+//
+// Examples:
+//
+//	cosmos-sim -workload DFS -design COSMOS -accesses 2000000
+//	cosmos-sim -workload mcf -design MorphCtr -accesses 1000000 -cores 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+	"cosmos/internal/stats"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmos-sim: ")
+
+	var (
+		workload  = flag.String("workload", "DFS", "workload name ("+strings.Join(workloads.AllNames(), ", ")+")")
+		design    = flag.String("design", "COSMOS", "design point (NP, MorphCtr, EMCC, Morph@L1, COSMOS-DP, COSMOS-CP, COSMOS)")
+		accesses  = flag.Uint64("accesses", 2_000_000, "memory accesses to simulate")
+		cores     = flag.Int("cores", 4, "core/thread count")
+		nodes     = flag.Int("graph-nodes", 0, "graph vertex count (0 = default)")
+		degree    = flag.Int("graph-degree", 0, "graph average attachment degree (0 = default)")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		ctrPolicy = flag.String("ctr-policy", "", "override CTR cache replacement (LRU, RRIP, SHiP, Mockingjay, Random)")
+		ctrPf     = flag.String("ctr-prefetcher", "", "CTR cache prefetcher (nextline, stride, berti)")
+		ctrBytes  = flag.Int("ctr-cache", 0, "CTR cache bytes per core (0 = Table 3 default)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	d, err := secmem.DesignByName(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.CtrPolicy = *ctrPolicy
+	d.CtrPrefetcher = *ctrPf
+	d.CtrCacheBytes = *ctrBytes
+
+	cfg := sim.DefaultConfig()
+	if *cores == 8 {
+		cfg = sim.EightCore()
+	} else {
+		cfg.Cores = *cores
+	}
+	cfg.MC.Seed = *seed
+	cfg.MC.Params.Seed = *seed
+
+	gen, err := workloads.Build(*workload, workloads.Options{
+		Threads: *cores, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := sim.New(cfg, d)
+	r := s.Run(trace.Limit(gen, *accesses), *accesses)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printResults(r, *csv)
+}
+
+func printResults(r sim.Results, csv bool) {
+	t := stats.NewTable(fmt.Sprintf("%s on %s", r.Design, r.Workload), "metric", "value")
+	t.Row("accesses", r.Accesses)
+	t.Row("reads/writes", fmt.Sprintf("%d/%d", r.Reads, r.Writes))
+	t.Row("instructions", r.Instructions)
+	t.Row("cycles", r.Cycles)
+	t.Row("IPC", r.IPC)
+	t.Row("L1 miss rate", stats.Pct(r.L1MissRate))
+	t.Row("L2 miss rate", stats.Pct(r.L2MissRate))
+	t.Row("LLC miss rate", stats.Pct(r.LLCMissRate))
+	t.Row("CTR accesses", r.CtrAccesses)
+	t.Row("CTR miss rate", stats.Pct(r.CtrMissRate))
+	t.Row("off-chip reads", r.OffChipReads)
+	t.Row("walk bypasses", r.Bypassed)
+	t.Row("SMAT (cycles)", r.SMAT)
+	t.Row("DRAM row-hit rate", stats.Pct(r.DRAM.RowHitRate()))
+
+	tr := r.Traffic
+	t.Row("traffic: data read", tr.DataRead)
+	t.Row("traffic: data write", tr.DataWrite)
+	t.Row("traffic: ctr read", tr.CtrRead)
+	t.Row("traffic: ctr writeback", tr.CtrWrite)
+	t.Row("traffic: MT node read", tr.MTRead)
+	t.Row("traffic: MAC read", tr.MACRead)
+	t.Row("traffic: MAC write", tr.MACWrite)
+	t.Row("traffic: re-encryption", tr.ReEncWrite)
+	t.Row("traffic: wasted fetch", tr.WastedDataFetch)
+	t.Row("traffic: total", tr.Total())
+
+	if r.DataPred != nil {
+		t.Row("data pred accuracy", stats.Pct(r.DataPred.Accuracy()))
+		t.Row("data pred on-chip ok/bad", fmt.Sprintf("%d/%d", r.DataPred.PredOnCorrect, r.DataPred.PredOnWrong))
+		t.Row("data pred off-chip ok/bad", fmt.Sprintf("%d/%d", r.DataPred.PredOffCorrect, r.DataPred.PredOffWrong))
+	}
+	if r.CtrPred != nil {
+		t.Row("ctr pred good fraction", stats.Pct(r.CtrPred.GoodFraction()))
+		t.Row("ctr pred CET hits/misses", fmt.Sprintf("%d/%d", r.CtrPred.CETHits, r.CtrPred.CETMisses))
+	}
+	if r.Prefetch.Issued > 0 {
+		t.Row("prefetch issued/useful", fmt.Sprintf("%d/%d", r.Prefetch.Issued, r.Prefetch.Useful))
+		t.Row("prefetch accuracy", stats.Pct(r.Prefetch.Accuracy()))
+	}
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	t.Write(os.Stdout)
+}

@@ -1,0 +1,156 @@
+// Package cosmos is the public API of the COSMOS reproduction — the
+// RL-enhanced locality-aware counter-cache optimization for secure memory
+// from "COSMOS: RL-Enhanced Locality-Aware Counter Cache Optimization for
+// Secure Memory" (MICRO 2025).
+//
+// The package offers three layers:
+//
+//   - Simulation: Run executes a workload on a secure-memory design point
+//     (non-protected, MorphCtr, EMCC-like, COSMOS variants) over the
+//     paper's 4-core machine and returns the full metric set (IPC, CTR
+//     cache behaviour, DRAM traffic decomposition, SMAT).
+//
+//   - Experiments: Experiments and RunExperiment regenerate the paper's
+//     tables and figures at a chosen scale.
+//
+//   - Functional secure memory: NewSecureMemory exposes a bit-accurate
+//     AES-CTR + MAC + Merkle-tree protected memory with real tamper and
+//     replay detection, the substrate the timing model abstracts.
+//
+// Quickstart:
+//
+//	r, _ := cosmos.Run(cosmos.RunSpec{Workload: "DFS", Design: "COSMOS", Accesses: 1e6})
+//	fmt.Println(r.IPC, r.CtrMissRate)
+package cosmos
+
+import (
+	"fmt"
+
+	"cosmos/internal/ctr"
+	"cosmos/internal/enclave"
+	"cosmos/internal/experiments"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+	"cosmos/internal/stats"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// Results re-exports the simulator's metric bundle.
+type Results = sim.Results
+
+// RunSpec selects a simulation.
+type RunSpec struct {
+	// Workload is one of Workloads(): the eight graph algorithms (DFS,
+	// BFS, GC, PR, TC, CC, SP, DC), the SPEC-like kernels (mcf, canneal,
+	// omnetpp), or the ML models (MLP, AlexNet, ResNet, VGG, BERT,
+	// Transformer, DLRM).
+	Workload string
+	// Design is one of Designs(): NP, MorphCtr, EMCC, Morph@L1,
+	// COSMOS-DP, COSMOS-CP, COSMOS.
+	Design string
+	// Accesses caps the simulation length (default 1,000,000).
+	Accesses uint64
+	// Cores selects 4 (default) or 8 cores (Fig 15's scaling study).
+	Cores int
+	// GraphNodes / GraphDegree size the synthetic graph for graph
+	// workloads (defaults reproduce the paper's thrashing regime).
+	GraphNodes  int
+	GraphDegree int
+	// Seed fixes all randomness; equal specs give identical Results.
+	Seed uint64
+}
+
+// Workloads lists every runnable workload name.
+func Workloads() []string { return workloads.AllNames() }
+
+// Designs lists every design point name.
+func Designs() []string {
+	return []string{"NP", "MorphCtr", "EMCC", "Morph@L1", "COSMOS-DP", "COSMOS-CP", "COSMOS", "RMCC"}
+}
+
+// Run simulates one workload on one design and returns the metrics.
+func Run(spec RunSpec) (Results, error) {
+	if spec.Accesses == 0 {
+		spec.Accesses = 1_000_000
+	}
+	if spec.Cores == 0 {
+		spec.Cores = 4
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 42
+	}
+	design, err := secmem.DesignByName(spec.Design)
+	if err != nil {
+		return Results{}, err
+	}
+	gen, err := workloads.Build(spec.Workload, workloads.Options{
+		Threads:     spec.Cores,
+		Seed:        spec.Seed,
+		GraphNodes:  spec.GraphNodes,
+		GraphDegree: spec.GraphDegree,
+	})
+	if err != nil {
+		return Results{}, err
+	}
+	cfg := sim.DefaultConfig()
+	if spec.Cores == 8 {
+		cfg = sim.EightCore()
+	} else {
+		cfg.Cores = spec.Cores
+	}
+	cfg.MC.Seed = spec.Seed
+	cfg.MC.Params.Seed = spec.Seed
+	s := sim.New(cfg, design)
+	return s.Run(trace.Limit(gen, spec.Accesses), spec.Accesses), nil
+}
+
+// Compare runs the same workload under two designs and returns the speedup
+// of b over a (cycles_a / cycles_b).
+func Compare(workload, a, b string, accesses uint64) (float64, error) {
+	ra, err := Run(RunSpec{Workload: workload, Design: a, Accesses: accesses})
+	if err != nil {
+		return 0, err
+	}
+	rb, err := Run(RunSpec{Workload: workload, Design: b, Accesses: accesses})
+	if err != nil {
+		return 0, err
+	}
+	if rb.Cycles == 0 {
+		return 0, fmt.Errorf("cosmos: design %s executed no cycles", b)
+	}
+	return float64(ra.Cycles) / float64(rb.Cycles), nil
+}
+
+// Experiments lists the reproducible table/figure ids in paper order.
+func Experiments() []string {
+	var out []string
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper table or figure. scale 1.0 is the
+// full reproduction; smaller values trade fidelity for speed (0 = smoke).
+func RunExperiment(id string, scale float64) (*stats.Table, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(experiments.NewLab(experiments.Scaled(scale))), nil
+}
+
+// SecureMemory is the functional AES-CTR + MAC + Merkle-tree protected
+// memory (see internal/enclave): real encryption, real integrity
+// verification, real replay detection.
+type SecureMemory = enclave.Memory
+
+// Line is one 64-byte protected block.
+type Line = enclave.Line
+
+// NewSecureMemory creates a protected memory of size bytes under a 16-byte
+// AES key with MorphCtr counters.
+func NewSecureMemory(size uint64, key []byte) (*SecureMemory, error) {
+	return enclave.New(size, key, ctr.Morph())
+}

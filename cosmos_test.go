@@ -1,0 +1,97 @@
+package cosmos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	r, err := Run(RunSpec{Workload: "DFS", Design: "COSMOS", Accesses: 50_000, GraphNodes: 50_000, GraphDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accesses != 50_000 || r.IPC <= 0 {
+		t.Fatalf("results: %+v", r)
+	}
+	if r.DataPred == nil || r.CtrPred == nil {
+		t.Fatal("COSMOS must report predictor stats")
+	}
+}
+
+func TestRunUnknownNames(t *testing.T) {
+	if _, err := Run(RunSpec{Workload: "DFS", Design: "nope"}); err == nil {
+		t.Fatal("unknown design must error")
+	}
+	if _, err := Run(RunSpec{Workload: "nope", Design: "NP"}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestCompareSecureCostsMore(t *testing.T) {
+	speedup, err := Compare("canneal", "MorphCtr", "NP", 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1 {
+		t.Fatalf("NP should beat MorphCtr, speedup=%v", speedup)
+	}
+}
+
+func TestRegistriesNonEmpty(t *testing.T) {
+	if len(Workloads()) < 15 {
+		t.Fatalf("workloads: %v", Workloads())
+	}
+	if len(Designs()) != 8 {
+		t.Fatalf("designs: %v", Designs())
+	}
+	if len(Experiments()) != 26 {
+		t.Fatalf("experiments: %v", Experiments())
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	tb, err := RunExperiment("tab2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() == "" {
+		t.Fatal("empty table")
+	}
+	if _, err := RunExperiment("fig99", 0); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestSecureMemoryFacade(t *testing.T) {
+	m, err := NewSecureMemory(1<<16, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Line
+	copy(l[:], "through the facade")
+	if err := m.Write(0x40, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x40)
+	if err != nil || got != l {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	m.TamperCiphertext(0x40, func(ln *Line) { ln[0] ^= 1 })
+	if _, err := m.Read(0x40); err == nil {
+		t.Fatal("tampering must be detected through the facade")
+	} else if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	spec := RunSpec{Workload: "mcf", Design: "COSMOS", Accesses: 30_000, Seed: 7}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(spec)
+	if a.Cycles != b.Cycles || a.Traffic != b.Traffic {
+		t.Fatal("Run must be deterministic for equal specs")
+	}
+}

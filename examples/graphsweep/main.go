@@ -1,0 +1,49 @@
+// Graphsweep: the workload study from the paper's introduction — run every
+// graph algorithm under every design point and print the performance matrix
+// normalised to a non-protected system, reproducing the Fig 10 view through
+// the public API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cosmos"
+)
+
+func main() {
+	log.SetFlags(0)
+	accesses := flag.Uint64("accesses", 500_000, "accesses per run")
+	nodes := flag.Int("nodes", 500_000, "graph vertices")
+	flag.Parse()
+
+	algos := []string{"DFS", "BFS", "GC", "PR", "TC", "CC", "SP", "DC"}
+	designs := []string{"MorphCtr", "COSMOS-DP", "COSMOS-CP", "COSMOS"}
+
+	fmt.Printf("%-6s", "algo")
+	for _, d := range designs {
+		fmt.Printf(" %10s", d)
+	}
+	fmt.Println("   (performance normalised to NP; higher is better)")
+
+	for _, w := range algos {
+		np, err := cosmos.Run(cosmos.RunSpec{
+			Workload: w, Design: "NP", Accesses: *accesses, GraphNodes: *nodes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s", w)
+		for _, d := range designs {
+			r, err := cosmos.Run(cosmos.RunSpec{
+				Workload: w, Design: d, Accesses: *accesses, GraphNodes: *nodes,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3f", float64(np.Cycles)/float64(r.Cycles))
+		}
+		fmt.Println()
+	}
+}

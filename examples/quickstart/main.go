@@ -1,0 +1,44 @@
+// Quickstart: simulate one graph workload under the MorphCtr baseline and
+// full COSMOS, and print the headline comparison — the 60-second tour of
+// the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cosmos"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const workload = "DFS"
+	fmt.Printf("Running %s under MorphCtr and COSMOS (1M accesses each)...\n\n", workload)
+
+	spec := cosmos.RunSpec{Workload: workload, Accesses: 1_000_000}
+
+	spec.Design = "MorphCtr"
+	base, err := cosmos.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec.Design = "COSMOS"
+	cos, err := cosmos.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "metric", "MorphCtr", "COSMOS")
+	fmt.Printf("%-22s %12.3f %12.3f\n", "IPC", base.IPC, cos.IPC)
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "CTR cache miss rate", 100*base.CtrMissRate, 100*cos.CtrMissRate)
+	fmt.Printf("%-22s %12d %12d\n", "MT node reads", base.Traffic.MTRead, cos.Traffic.MTRead)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "SMAT (cycles)", base.SMAT, cos.SMAT)
+	if cos.DataPred != nil {
+		fmt.Printf("%-22s %12s %11.1f%%\n", "data pred accuracy", "-", 100*cos.DataPred.Accuracy())
+	}
+	fmt.Printf("\nCOSMOS speedup over MorphCtr: %.2fx\n",
+		float64(base.Cycles)/float64(cos.Cycles))
+	fmt.Printf("(walk bypasses: %d of %d off-chip reads)\n", cos.Bypassed, cos.OffChipReads)
+}

@@ -1,0 +1,109 @@
+// Securekv: a tiny key-value store whose backing pages live in the
+// functional secure memory — every value is AES-CTR encrypted, MAC'd and
+// Merkle-protected for real. The demo then plays the attacker: it tampers
+// with DRAM and mounts a full replay attack, and shows both being caught.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cosmos"
+
+	"cosmos/internal/memsys"
+)
+
+// kv is a fixed-slot store: key → line index (toy directory kept in
+// trusted memory; values live encrypted off-chip).
+type kv struct {
+	mem  *cosmos.SecureMemory
+	dir  map[string]memsys.Addr
+	next memsys.Addr
+}
+
+func newKV(mem *cosmos.SecureMemory) *kv {
+	return &kv{mem: mem, dir: make(map[string]memsys.Addr)}
+}
+
+func (s *kv) Put(key, value string) error {
+	addr, ok := s.dir[key]
+	if !ok {
+		addr = s.next
+		s.next += 64
+		s.dir[key] = addr
+	}
+	var line cosmos.Line
+	copy(line[:], value)
+	return s.mem.Write(addr, line)
+}
+
+func (s *kv) Get(key string) (string, error) {
+	addr, ok := s.dir[key]
+	if !ok {
+		return "", fmt.Errorf("no such key %q", key)
+	}
+	line, err := s.mem.Read(addr)
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	for n < len(line) && line[n] != 0 {
+		n++
+	}
+	return string(line[:n]), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	mem, err := cosmos.NewSecureMemory(1<<20, []byte("0123456789abcdef"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := newKV(mem)
+
+	fmt.Println("== secure KV store over AES-CTR + MAC + Merkle tree ==")
+	store.Put("alice", "balance=100")
+	store.Put("bob", "balance=250")
+	v, _ := store.Get("alice")
+	fmt.Printf("get alice        -> %q\n", v)
+	root := mem.Root()
+	fmt.Printf("merkle root      -> %x...\n", root[:8])
+
+	// Attack 1: flip a ciphertext bit in DRAM.
+	addr := store.dir["alice"]
+	mem.TamperCiphertext(addr, func(l *cosmos.Line) { l[3] ^= 0x80 })
+	if _, err := store.Get("alice"); err != nil {
+		fmt.Printf("bit-flip attack  -> detected: %v\n", err)
+	} else {
+		log.Fatal("bit-flip attack went UNDETECTED")
+	}
+	store.Put("alice", "balance=100") // restore
+
+	// Attack 2: full replay. Snapshot alice's rich state, spend the
+	// balance, then roll ciphertext+MAC+counters+tree leaf back.
+	ct, mac, _ := mem.Snapshot(addr)
+	blockState, _ := mem.SnapshotBlock(addr)
+	store.Put("alice", "balance=0")
+	v, _ = store.Get("alice")
+	fmt.Printf("after spend      -> %q\n", v)
+
+	if err := mem.Replay(addr, ct, mac, blockState); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Get("alice"); err != nil {
+		fmt.Printf("replay attack    -> detected: %v\n", err)
+	} else {
+		log.Fatal("replay attack went UNDETECTED")
+	}
+
+	// Counter hygiene: rewrite a value many times to force MorphCtr
+	// overflow and background re-encryption, then verify integrity holds.
+	for i := 0; i < 200; i++ {
+		store.Put("bob", fmt.Sprintf("balance=%d", i))
+	}
+	v, err = store.Get("bob")
+	if err != nil {
+		log.Fatalf("post-re-encryption read failed: %v", err)
+	}
+	fmt.Printf("after 200 writes -> %q (re-encryptions: %d)\n", v, mem.Stats.ReEncryptions)
+}

@@ -1,0 +1,223 @@
+// Package cache implements the set-associative caches used throughout the
+// simulator — data caches (L1/L2/LLC), the counter (CTR) cache, and the
+// locality-centric LCR-CTR cache — with pluggable replacement policies:
+// LRU, Random, RRIP, SHiP, Mockingjay and the paper's LCR policy
+// (Algorithm 2).
+package cache
+
+import "fmt"
+
+// Policy decides which way of a set to evict and observes hits, fills and
+// evictions so it can maintain its own recency/reuse state. Policies are
+// sized by Reset before first use.
+type Policy interface {
+	Name() string
+	// Reset (re)initialises the policy for a cache with the given geometry.
+	Reset(sets, ways int)
+	// OnHit is invoked when an access hits way `way` of set `set`.
+	OnHit(set, way int, ev Event)
+	// OnInsert is invoked when a line is filled into way `way` of `set`.
+	OnInsert(set, way int, ev Event)
+	// OnEvict is invoked just before the line in (set, way) is replaced.
+	OnEvict(set, way int)
+	// Victim selects the way to evict from a full set.
+	Victim(set int) int
+}
+
+// Event carries access context to the policy: the line tag, a region
+// signature standing in for the PC (used by SHiP and Mockingjay), and the
+// cache-local access sequence number.
+type Event struct {
+	Tag uint64
+	Sig uint16
+	Seq uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats accumulates hit/miss/traffic counters for one cache.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns Misses/Accesses (0 if no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits/Accesses (0 if no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache indexed by cache-line number
+// (byte address >> 6). It is a tag store only: data payloads live in the
+// functional layer (internal/enclave), not here.
+type Cache struct {
+	name  string
+	sets  int
+	ways  int
+	lines []line // sets*ways, row-major
+	pol   Policy
+	seq   uint64
+
+	Stats Stats
+}
+
+// Result reports the outcome of an Access.
+type Result struct {
+	Hit          bool
+	Set, Way     int
+	Evicted      bool
+	EvictedLine  uint64 // line number of the victim, valid when Evicted
+	EvictedDirty bool
+}
+
+// New builds a cache of sizeBytes capacity with the given associativity and
+// 64-byte lines. The number of sets must come out a power of two.
+func New(name string, sizeBytes, ways int, pol Policy) *Cache {
+	const lineSize = 64
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	c := &Cache{name: name, sets: sets, ways: ways, lines: make([]line, sets*ways), pol: pol}
+	pol.Reset(sets, ways)
+	return c
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * 64 }
+
+// Policy exposes the replacement policy (e.g. to feed LCR hints).
+func (c *Cache) Policy() Policy { return c.pol }
+
+func (c *Cache) index(lineNum uint64) (set int, tag uint64) {
+	return int(lineNum & uint64(c.sets-1)), lineNum >> uint(log2(c.sets))
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Access performs a load or store of the given cache-line number, filling on
+// miss and evicting per the policy. sig tags the access's code region.
+func (c *Cache) Access(lineNum uint64, write bool, sig uint16) Result {
+	c.Stats.Accesses++
+	c.seq++
+	set, tag := c.index(lineNum)
+	base := set * c.ways
+	ev := Event{Tag: tag, Sig: sig, Seq: c.seq}
+
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			c.Stats.Hits++
+			if write {
+				ln.dirty = true
+			}
+			c.pol.OnHit(set, w, ev)
+			return Result{Hit: true, Set: set, Way: w}
+		}
+	}
+
+	c.Stats.Misses++
+	res := Result{Set: set}
+	// Prefer an invalid way.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.pol.Victim(set)
+		if way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim %d", c.name, c.pol.Name(), way))
+		}
+		victim := &c.lines[base+way]
+		c.Stats.Evictions++
+		res.Evicted = true
+		res.EvictedLine = victim.tag<<uint(log2(c.sets)) | uint64(set)
+		res.EvictedDirty = victim.dirty
+		if victim.dirty {
+			c.Stats.Writebacks++
+		}
+		c.pol.OnEvict(set, way)
+	}
+	c.lines[base+way] = line{tag: tag, valid: true, dirty: write}
+	c.pol.OnInsert(set, way, ev)
+	res.Way = way
+	return res
+}
+
+// Contains probes for the line without disturbing replacement state or
+// statistics. It is used to validate data-location predictions.
+func (c *Cache) Contains(lineNum uint64) bool {
+	set, tag := c.index(lineNum)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].valid && c.lines[base+w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineNum uint64) (present, dirty bool) {
+	set, tag := c.index(lineNum)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			d := ln.dirty
+			ln.valid = false
+			ln.dirty = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line, returning the number of dirty lines dropped.
+func (c *Cache) Flush() (dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}

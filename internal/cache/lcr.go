@@ -1,0 +1,106 @@
+package cache
+
+// LCR is the paper's locality-centric replacement policy (Algorithm 2).
+// Every line carries a 1-bit locality flag (1 = good locality, 0 = bad) and
+// an 8-bit locality score, both supplied by the RL-based CTR locality
+// predictor via SetHint. Eviction targets, in order:
+//
+//  1. among bad-locality lines, the one with the HIGHEST bad score
+//     (most confidently bad);
+//  2. if every line is good, the one with the LOWEST good score
+//     (least confidently good).
+//
+// Falling back to LRU order breaks ties so behaviour stays deterministic.
+type LCR struct {
+	ways  int
+	flag  []bool
+	score []uint8
+	stamp []uint64
+	clock uint64
+}
+
+// NewLCR returns the LCR policy. Lines inserted before any hint arrives are
+// treated as bad locality with a neutral score, matching the hardware where
+// the prediction bit accompanies the fill.
+func NewLCR() *LCR { return &LCR{} }
+
+// Name implements Policy.
+func (p *LCR) Name() string { return "LCR" }
+
+// Reset implements Policy.
+func (p *LCR) Reset(sets, ways int) {
+	p.ways = ways
+	n := sets * ways
+	p.flag = make([]bool, n)
+	p.score = make([]uint8, n)
+	p.stamp = make([]uint64, n)
+	p.clock = 0
+}
+
+func (p *LCR) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// OnHit implements Policy.
+func (p *LCR) OnHit(set, way int, _ Event) { p.touch(set, way) }
+
+// OnInsert implements Policy: default to bad locality / neutral score until
+// the predictor hint lands.
+func (p *LCR) OnInsert(set, way int, _ Event) {
+	i := set*p.ways + way
+	p.flag[i] = false
+	p.score[i] = 128
+	p.touch(set, way)
+}
+
+// OnEvict implements Policy.
+func (p *LCR) OnEvict(int, int) {}
+
+// SetHint attaches the predictor's locality classification to a resident
+// line: good=true marks good locality; score is the 8-bit confidence from
+// the CTR Q-table.
+func (p *LCR) SetHint(set, way int, good bool, score uint8) {
+	i := set*p.ways + way
+	p.flag[i] = good
+	p.score[i] = score
+}
+
+// Hint reports the current flag/score of a line (for tests and stats).
+func (p *LCR) Hint(set, way int) (good bool, score uint8) {
+	i := set*p.ways + way
+	return p.flag[i], p.score[i]
+}
+
+// Victim implements Algorithm 2.
+func (p *LCR) Victim(set int) int {
+	base := set * p.ways
+	evict := -1
+	maxBad := -1
+	minGood := 256
+	var evictStamp uint64
+	for w := 0; w < p.ways; w++ {
+		i := base + w
+		if !p.flag[i] { // bad locality: highest score wins eviction
+			s := int(p.score[i])
+			if s > maxBad || (s == maxBad && p.stamp[i] < evictStamp) {
+				evict, maxBad, evictStamp = w, s, p.stamp[i]
+			}
+		}
+	}
+	if evict >= 0 {
+		return evict
+	}
+	for w := 0; w < p.ways; w++ { // all good: lowest score is evicted
+		i := base + w
+		s := int(p.score[i])
+		if evict < 0 || s < minGood || (s == minGood && p.stamp[i] < evictStamp) {
+			evict, minGood, evictStamp = w, s, p.stamp[i]
+		}
+	}
+	return evict
+}
+
+// StorageBitsPerLine is the LCR metadata cost per cache line (Table 2:
+// 1 prediction bit + 8 score bits).
+const StorageBitsPerLine = 9

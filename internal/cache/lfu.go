@@ -1,0 +1,161 @@
+package cache
+
+// LFU evicts the least-frequently-used line, with an aging shift so stale
+// hot lines eventually decay. It underpins the RMCC-like baseline (§6.2 of
+// the paper): RMCC retains frequently accessed counters near the memory
+// controller, which an aged-LFU metadata cache approximates.
+type LFU struct {
+	ways   int
+	count  []uint32
+	stamp  []uint64
+	clock  uint64
+	agePer uint64 // halve counts every agePer touches
+}
+
+// NewLFU returns an aged LFU policy.
+func NewLFU() *LFU { return &LFU{agePer: 8192} }
+
+// Name implements Policy.
+func (p *LFU) Name() string { return "LFU" }
+
+// Reset implements Policy.
+func (p *LFU) Reset(sets, ways int) {
+	p.ways = ways
+	p.count = make([]uint32, sets*ways)
+	p.stamp = make([]uint64, sets*ways)
+	p.clock = 0
+}
+
+func (p *LFU) tick(set, way int) {
+	p.clock++
+	i := set*p.ways + way
+	p.stamp[i] = p.clock
+	if p.count[i] < 1<<30 {
+		p.count[i]++
+	}
+	if p.clock%p.agePer == 0 {
+		for j := range p.count {
+			p.count[j] >>= 1
+		}
+	}
+}
+
+// OnHit implements Policy.
+func (p *LFU) OnHit(set, way int, _ Event) { p.tick(set, way) }
+
+// OnInsert implements Policy.
+func (p *LFU) OnInsert(set, way int, _ Event) {
+	p.count[set*p.ways+way] = 0
+	p.tick(set, way)
+}
+
+// OnEvict implements Policy.
+func (p *LFU) OnEvict(int, int) {}
+
+// Victim implements Policy: lowest count, oldest stamp breaking ties.
+func (p *LFU) Victim(set int) int {
+	base := set * p.ways
+	victim := 0
+	for w := 1; w < p.ways; w++ {
+		vi, wi := base+victim, base+w
+		if p.count[wi] < p.count[vi] ||
+			(p.count[wi] == p.count[vi] && p.stamp[wi] < p.stamp[vi]) {
+			victim = w
+		}
+	}
+	return victim
+}
+
+// DRRIP is dynamic RRIP (Jaleel et al.): set-dueling between SRRIP and
+// BRRIP (bimodal long-insertion) so thrashing working sets degrade to
+// scan-through behaviour. Included for the ablation benches.
+type DRRIP struct {
+	ways  int
+	sets  int
+	maxRR uint8
+	rrpv  []uint8
+
+	psel    int // policy selector: ≥0 favours SRRIP
+	pselMax int
+	brCtr   uint32 // BRRIP bimodal counter
+}
+
+// NewDRRIP returns the dynamic policy with 2-bit RRPVs.
+func NewDRRIP() *DRRIP { return &DRRIP{maxRR: 3, pselMax: 1 << 9} }
+
+// Name implements Policy.
+func (p *DRRIP) Name() string { return "DRRIP" }
+
+// Reset implements Policy.
+func (p *DRRIP) Reset(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = p.maxRR
+	}
+	p.psel = 0
+}
+
+// leader classifies a set: 0 = SRRIP leader, 1 = BRRIP leader, 2 = follower.
+func (p *DRRIP) leader(set int) int {
+	switch set & 63 {
+	case 0:
+		return 0
+	case 32:
+		return 1
+	}
+	return 2
+}
+
+// OnHit implements Policy.
+func (p *DRRIP) OnHit(set, way int, _ Event) {
+	p.rrpv[set*p.ways+way] = 0
+}
+
+// OnInsert implements Policy.
+func (p *DRRIP) OnInsert(set, way int, _ Event) {
+	useBR := false
+	switch p.leader(set) {
+	case 0: // SRRIP leader: a miss here is a point against SRRIP
+		if p.psel > -p.pselMax {
+			p.psel--
+		}
+	case 1:
+		if p.psel < p.pselMax {
+			p.psel++
+		}
+		useBR = true
+	default:
+		useBR = p.psel > 0
+	}
+	i := set*p.ways + way
+	if useBR {
+		// BRRIP: distant insertion, occasionally long (1/32).
+		p.brCtr++
+		if p.brCtr%32 == 0 {
+			p.rrpv[i] = p.maxRR - 1
+		} else {
+			p.rrpv[i] = p.maxRR
+		}
+	} else {
+		p.rrpv[i] = p.maxRR - 1
+	}
+}
+
+// OnEvict implements Policy.
+func (p *DRRIP) OnEvict(int, int) {}
+
+// Victim implements Policy.
+func (p *DRRIP) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] >= p.maxRR {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}

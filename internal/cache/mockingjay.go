@@ -1,0 +1,110 @@
+package cache
+
+// Mockingjay approximates the Mockingjay replacement policy (Shah, Jain &
+// Lin, HPCA'22) as described in the paper's Fig 5 study: a sampled cache of
+// 4,096 entries dynamically learns reuse distances per signature; every
+// cached line carries an estimated time of arrival (ETA) and the victim is
+// the line with the largest ETA.
+type Mockingjay struct {
+	ways int
+	eta  []uint64 // per-line estimated next-arrival time
+
+	// Reuse-distance predictor: per-signature exponential average.
+	rdp      []float64
+	rdpValid []bool
+
+	// Sampler: maps sampled line tags to their last access time + sig.
+	samplerSize int
+	samplerKey  []uint64
+	samplerTime []uint64
+	samplerSig  []uint16
+	samplerUsed []bool
+
+	defaultRD uint64
+}
+
+// Mockingjay parameters from §3.3 of the paper (4,096-entry sampler).
+const (
+	mjSamplerEntries = 4096
+	mjRDPEntries     = 4096
+	mjDefaultRD      = 1 << 14
+)
+
+// NewMockingjay returns the policy with the paper's sampler size.
+func NewMockingjay() *Mockingjay {
+	return &Mockingjay{samplerSize: mjSamplerEntries, defaultRD: mjDefaultRD}
+}
+
+// Name implements Policy.
+func (p *Mockingjay) Name() string { return "Mockingjay" }
+
+// Reset implements Policy.
+func (p *Mockingjay) Reset(sets, ways int) {
+	p.ways = ways
+	p.eta = make([]uint64, sets*ways)
+	p.rdp = make([]float64, mjRDPEntries)
+	p.rdpValid = make([]bool, mjRDPEntries)
+	p.samplerKey = make([]uint64, p.samplerSize)
+	p.samplerTime = make([]uint64, p.samplerSize)
+	p.samplerSig = make([]uint16, p.samplerSize)
+	p.samplerUsed = make([]bool, p.samplerSize)
+}
+
+func (p *Mockingjay) predictRD(sig uint16) uint64 {
+	i := int(sig) & (mjRDPEntries - 1)
+	if !p.rdpValid[i] {
+		return p.defaultRD
+	}
+	return uint64(p.rdp[i])
+}
+
+func (p *Mockingjay) train(sig uint16, observedRD uint64) {
+	i := int(sig) & (mjRDPEntries - 1)
+	if !p.rdpValid[i] {
+		p.rdp[i] = float64(observedRD)
+		p.rdpValid[i] = true
+		return
+	}
+	p.rdp[i] = 0.75*p.rdp[i] + 0.25*float64(observedRD)
+}
+
+// sample records the access in the sampled cache (direct-mapped by tag) and
+// trains the RDP when the same line recurs.
+func (p *Mockingjay) sample(ev Event) {
+	slot := int(ev.Tag % uint64(p.samplerSize))
+	if p.samplerUsed[slot] && p.samplerKey[slot] == ev.Tag {
+		p.train(p.samplerSig[slot], ev.Seq-p.samplerTime[slot])
+	}
+	p.samplerKey[slot] = ev.Tag
+	p.samplerTime[slot] = ev.Seq
+	p.samplerSig[slot] = ev.Sig
+	p.samplerUsed[slot] = true
+}
+
+// OnHit implements Policy.
+func (p *Mockingjay) OnHit(set, way int, ev Event) {
+	p.sample(ev)
+	p.eta[set*p.ways+way] = ev.Seq + p.predictRD(ev.Sig)
+}
+
+// OnInsert implements Policy.
+func (p *Mockingjay) OnInsert(set, way int, ev Event) {
+	p.sample(ev)
+	p.eta[set*p.ways+way] = ev.Seq + p.predictRD(ev.Sig)
+}
+
+// OnEvict implements Policy.
+func (p *Mockingjay) OnEvict(int, int) {}
+
+// Victim implements Policy: evict the line expected to return furthest in
+// the future.
+func (p *Mockingjay) Victim(set int) int {
+	base := set * p.ways
+	victim, worst := 0, p.eta[base]
+	for w := 1; w < p.ways; w++ {
+		if p.eta[base+w] > worst {
+			victim, worst = w, p.eta[base+w]
+		}
+	}
+	return victim
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+
+	"cosmos/internal/rl"
+)
+
+// refLRU is a slow, obviously-correct LRU cache used to verify the packed
+// implementation under random workloads.
+type refLRU struct {
+	sets, ways int
+	lines      [][]refLine // per set, index 0 = MRU
+}
+
+type refLine struct {
+	line  uint64
+	dirty bool
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	return &refLRU{sets: sets, ways: ways, lines: make([][]refLine, sets)}
+}
+
+func (r *refLRU) access(line uint64, write bool) (hit bool, evicted uint64, evDirty, didEvict bool) {
+	set := int(line % uint64(r.sets))
+	s := r.lines[set]
+	for i := range s {
+		if s[i].line == line {
+			entry := s[i]
+			entry.dirty = entry.dirty || write
+			copy(s[1:i+1], s[:i])
+			s[0] = entry
+			return true, 0, false, false
+		}
+	}
+	entry := refLine{line: line, dirty: write}
+	if len(s) < r.ways {
+		r.lines[set] = append([]refLine{entry}, s...)
+		return false, 0, false, false
+	}
+	victim := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = entry
+	return false, victim.line, victim.dirty, true
+}
+
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	const sets, ways = 16, 4
+	c := New("c", sets*ways*64, ways, NewLRU())
+	ref := newRefLRU(sets, ways)
+	rng := rl.NewRand(21)
+
+	for i := 0; i < 100000; i++ {
+		line := rng.Uint64() % 256
+		write := rng.Intn(3) == 0
+		got := c.Access(line, write, 0)
+		hit, evLine, evDirty, didEvict := ref.access(line, write)
+		if got.Hit != hit {
+			t.Fatalf("step %d line %d: hit=%v ref=%v", i, line, got.Hit, hit)
+		}
+		if got.Evicted != didEvict {
+			t.Fatalf("step %d line %d: evicted=%v ref=%v", i, line, got.Evicted, didEvict)
+		}
+		if didEvict && (got.EvictedLine != evLine || got.EvictedDirty != evDirty) {
+			t.Fatalf("step %d line %d: victim (%d,%v), ref (%d,%v)",
+				i, line, got.EvictedLine, got.EvictedDirty, evLine, evDirty)
+		}
+	}
+}
+
+func TestAllPoliciesVictimAlwaysValid(t *testing.T) {
+	// Fuzz every policy: victims must always index a valid way, and the
+	// cache must never lose a line it claims to hold.
+	for name, mk := range policyNames() {
+		t.Run(name, func(t *testing.T) {
+			c := New("c", 8*1024, 4, mk())
+			rng := rl.NewRand(5)
+			recent := map[uint64]bool{}
+			for i := 0; i < 30000; i++ {
+				line := rng.Uint64() % 2048
+				r := c.Access(line, rng.Intn(2) == 0, uint16(line))
+				if !c.Contains(line) {
+					t.Fatalf("line %d absent immediately after access", line)
+				}
+				if r.Evicted {
+					delete(recent, r.EvictedLine)
+				}
+				recent[line] = true
+			}
+		})
+	}
+}
+
+func TestLCRStorageConstant(t *testing.T) {
+	if StorageBitsPerLine != 9 {
+		t.Fatalf("LCR metadata is %d bits/line, Table 2 says 9", StorageBitsPerLine)
+	}
+}

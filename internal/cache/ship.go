@@ -1,0 +1,101 @@
+package cache
+
+// SHiP implements signature-based hit prediction (Wu et al. MICRO'11) as
+// configured in the paper's Fig 5 study: a 16,384-entry SHCT of saturating
+// counters indexed by the access signature, driving RRIP insertion with a
+// maximum RRPV of 7.
+type SHiP struct {
+	ways  int
+	maxRR uint8
+	rrpv  []uint8
+
+	shctSize int
+	shct     []uint8 // 3-bit saturating counters
+
+	sig    []uint16 // per-line inserting signature
+	reused []bool   // per-line outcome bit
+}
+
+// SHiP hardware parameters from §3.3 of the paper.
+const (
+	shipSHCTEntries = 16384
+	shipMaxRRPV     = 7
+	shipCtrMax      = 7
+)
+
+// NewSHiP returns SHiP with the paper's table sizes.
+func NewSHiP() *SHiP {
+	return &SHiP{maxRR: shipMaxRRPV, shctSize: shipSHCTEntries}
+}
+
+// Name implements Policy.
+func (p *SHiP) Name() string { return "SHiP" }
+
+// Reset implements Policy.
+func (p *SHiP) Reset(sets, ways int) {
+	p.ways = ways
+	n := sets * ways
+	p.rrpv = make([]uint8, n)
+	for i := range p.rrpv {
+		p.rrpv[i] = p.maxRR
+	}
+	p.shct = make([]uint8, p.shctSize)
+	for i := range p.shct {
+		p.shct[i] = 1 // weakly no-reuse
+	}
+	p.sig = make([]uint16, n)
+	p.reused = make([]bool, n)
+}
+
+func (p *SHiP) shctIndex(sig uint16) int { return int(sig) & (p.shctSize - 1) }
+
+// OnHit implements Policy: promote and train the signature toward reuse.
+func (p *SHiP) OnHit(set, way int, _ Event) {
+	i := set*p.ways + way
+	p.rrpv[i] = 0
+	if !p.reused[i] {
+		p.reused[i] = true
+		if c := &p.shct[p.shctIndex(p.sig[i])]; *c < shipCtrMax {
+			*c++
+		}
+	}
+}
+
+// OnInsert implements Policy: insertion RRPV depends on the signature's
+// learned reuse behaviour.
+func (p *SHiP) OnInsert(set, way int, ev Event) {
+	i := set*p.ways + way
+	p.sig[i] = ev.Sig
+	p.reused[i] = false
+	if p.shct[p.shctIndex(ev.Sig)] == 0 {
+		p.rrpv[i] = p.maxRR // predicted dead on arrival
+	} else {
+		p.rrpv[i] = p.maxRR - 1
+	}
+}
+
+// OnEvict implements Policy: an eviction without reuse trains the signature
+// toward no-reuse.
+func (p *SHiP) OnEvict(set, way int) {
+	i := set*p.ways + way
+	if !p.reused[i] {
+		if c := &p.shct[p.shctIndex(p.sig[i])]; *c > 0 {
+			*c--
+		}
+	}
+}
+
+// Victim implements Policy (RRIP scan with aging).
+func (p *SHiP) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] >= p.maxRR {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}

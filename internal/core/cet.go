@@ -1,0 +1,161 @@
+package core
+
+// CET is the CTR Evaluation Table (§4.1.1): a small LRU-managed buffer of
+// recent CTR accesses, each recorded with the RL state and action taken.
+// It answers the "was this CTR (or a spatial neighbour within ±window
+// blocks) accessed recently?" question that grades locality predictions,
+// and it reports evictions so stale predictions can be penalised
+// (Algorithm 1 lines 19-23).
+//
+// The ±window neighbourhood test is implemented with block-index buckets of
+// width 64 ≥ window, so each lookup probes at most three buckets instead of
+// hashing 65 candidate addresses — semantically identical to Algorithm 1
+// line 9, O(1) per access.
+type CET struct {
+	capacity int
+	window   uint64
+
+	byBlock map[uint64]*cetEntry
+	buckets map[uint64]map[*cetEntry]struct{}
+
+	// intrusive LRU list: mru is the most recently inserted entry
+	// ("CET.head" in Algorithm 1), lru the eviction candidate.
+	mru, lru *cetEntry
+	size     int
+}
+
+type cetEntry struct {
+	block  uint64
+	state  int
+	action int
+
+	prev, next *cetEntry // prev = more recent
+}
+
+// CETRecord is the (state, action) pair stored per entry, surfaced on
+// eviction and by Head.
+type CETRecord struct {
+	Block  uint64
+	State  int
+	Action int
+}
+
+// NewCET builds a table with the given capacity and neighbourhood window.
+func NewCET(capacity int, window uint64) *CET {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CET{
+		capacity: capacity,
+		window:   window,
+		byBlock:  make(map[uint64]*cetEntry, capacity),
+		buckets:  make(map[uint64]map[*cetEntry]struct{}),
+	}
+}
+
+// Len reports the current number of entries.
+func (c *CET) Len() int { return c.size }
+
+// Capacity reports the configured entry count.
+func (c *CET) Capacity() int { return c.capacity }
+
+func (c *CET) bucketOf(block uint64) uint64 { return block >> 6 }
+
+// HitNearby reports whether any resident entry lies within ±window counter
+// blocks of block (Algorithm 1 lines 9-10).
+func (c *CET) HitNearby(block uint64) bool {
+	b := c.bucketOf(block)
+	for _, probe := range [3]uint64{b - 1, b, b + 1} {
+		for e := range c.buckets[probe] {
+			d := e.block - block
+			if e.block < block {
+				d = block - e.block
+			}
+			if d <= c.window {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Head returns the most recently inserted record — Algorithm 1's
+// (CET.head.state, CET.head.action) bootstrap — and ok=false when empty.
+func (c *CET) Head() (CETRecord, bool) {
+	if c.mru == nil {
+		return CETRecord{}, false
+	}
+	return CETRecord{Block: c.mru.block, State: c.mru.state, Action: c.mru.action}, true
+}
+
+// Insert records (block, state, action) as the newest entry. If the block
+// is already resident its record is refreshed and promoted. When the table
+// overflows, the least recently inserted entry is evicted and returned so
+// the caller can apply the eviction reward.
+func (c *CET) Insert(block uint64, state, action int) (evicted CETRecord, wasEvicted bool) {
+	if e, ok := c.byBlock[block]; ok {
+		e.state, e.action = state, action
+		c.unlink(e)
+		c.pushFront(e)
+		return CETRecord{}, false
+	}
+	e := &cetEntry{block: block, state: state, action: action}
+	c.byBlock[block] = e
+	bk := c.bucketOf(block)
+	set := c.buckets[bk]
+	if set == nil {
+		set = make(map[*cetEntry]struct{})
+		c.buckets[bk] = set
+	}
+	set[e] = struct{}{}
+	c.pushFront(e)
+	c.size++
+
+	if c.size <= c.capacity {
+		return CETRecord{}, false
+	}
+	victim := c.lru
+	c.remove(victim)
+	return CETRecord{Block: victim.block, State: victim.state, Action: victim.action}, true
+}
+
+func (c *CET) pushFront(e *cetEntry) {
+	e.prev = nil
+	e.next = c.mru
+	if c.mru != nil {
+		c.mru.prev = e
+	}
+	c.mru = e
+	if c.lru == nil {
+		c.lru = e
+	}
+}
+
+func (c *CET) unlink(e *cetEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *CET) remove(e *cetEntry) {
+	c.unlink(e)
+	delete(c.byBlock, e.block)
+	bk := c.bucketOf(e.block)
+	delete(c.buckets[bk], e)
+	if len(c.buckets[bk]) == 0 {
+		delete(c.buckets, bk)
+	}
+	c.size--
+}
+
+// StorageBits reports the hardware cost: 65 bits per entry (64-bit address
+// + 1 prediction bit), per Table 2.
+func (c *CET) StorageBits() int { return c.capacity * 65 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosmos/internal/rl"
+)
+
+// Property tests of the CET against a slow reference model.
+
+type refCET struct {
+	capacity int
+	window   uint64
+	order    []CETRecord // index 0 = MRU
+}
+
+func (r *refCET) hitNearby(block uint64) bool {
+	for _, e := range r.order {
+		d := e.Block - block
+		if e.Block < block {
+			d = block - e.Block
+		}
+		if d <= r.window {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refCET) insert(block uint64, state, action int) (CETRecord, bool) {
+	for i, e := range r.order {
+		if e.Block == block {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			r.order = append([]CETRecord{{Block: block, State: state, Action: action}}, r.order...)
+			return CETRecord{}, false
+		}
+	}
+	r.order = append([]CETRecord{{Block: block, State: state, Action: action}}, r.order...)
+	if len(r.order) > r.capacity {
+		ev := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		return ev, true
+	}
+	return CETRecord{}, false
+}
+
+func TestCETMatchesReferenceModel(t *testing.T) {
+	const capacity, window = 16, 32
+	cet := NewCET(capacity, window)
+	ref := &refCET{capacity: capacity, window: window}
+	rng := rl.NewRand(11)
+
+	for i := 0; i < 30000; i++ {
+		block := rng.Uint64() % 4000 // dense enough to exercise windows
+		// Interleave lookups and inserts.
+		if i%3 == 0 {
+			probe := rng.Uint64() % 4000
+			if got, want := cet.HitNearby(probe), ref.hitNearby(probe); got != want {
+				t.Fatalf("step %d: HitNearby(%d) = %v, ref %v", i, probe, got, want)
+			}
+		}
+		evGot, okGot := cet.Insert(block, int(block%100), int(block%2))
+		evWant, okWant := ref.insert(block, int(block%100), int(block%2))
+		if okGot != okWant || (okGot && evGot != evWant) {
+			t.Fatalf("step %d: Insert(%d) evicted (%+v,%v), ref (%+v,%v)",
+				i, block, evGot, okGot, evWant, okWant)
+		}
+		hGot, okH := cet.Head()
+		if !okH || hGot.Block != ref.order[0].Block {
+			t.Fatalf("step %d: head %+v, ref %+v", i, hGot, ref.order[0])
+		}
+		if cet.Len() != len(ref.order) {
+			t.Fatalf("step %d: len %d, ref %d", i, cet.Len(), len(ref.order))
+		}
+	}
+}
+
+func TestCETNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(blocks []uint32) bool {
+		c := NewCET(8, 4)
+		for _, b := range blocks {
+			c.Insert(uint64(b), 0, 0)
+			if c.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCETWindowSymmetryProperty(t *testing.T) {
+	// If block b is resident, HitNearby(b±d) for d ≤ window must hit.
+	f := func(bRaw uint32, dRaw uint8) bool {
+		b := uint64(bRaw) + 64 // keep b-d positive
+		d := uint64(dRaw) % 33 // window is 32
+		c := NewCET(4, 32)
+		c.Insert(b, 0, 0)
+		return c.HitNearby(b+d) && c.HitNearby(b-d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCETOutsideWindowProperty(t *testing.T) {
+	f := func(bRaw uint32, dRaw uint16) bool {
+		b := uint64(bRaw) + 100000
+		d := uint64(dRaw)%1000 + 33 // strictly beyond the ±32 window
+		c := NewCET(4, 32)
+		c.Insert(b, 0, 0)
+		return !c.HitNearby(b+d) && !c.HitNearby(b-d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

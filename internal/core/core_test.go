@@ -1,0 +1,312 @@
+package core
+
+import (
+	"testing"
+
+	"cosmos/internal/rl"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.Data.Alpha != 0.09 || p.Data.Gamma != 0.88 || p.Data.Epsilon != 0.1 {
+		t.Errorf("data hyper-parameters %+v do not match Table 1", p.Data)
+	}
+	if p.Ctr.Alpha != 0.05 || p.Ctr.Gamma != 0.35 || p.Ctr.Epsilon != 0.001 {
+		t.Errorf("ctr hyper-parameters %+v do not match Table 1", p.Ctr)
+	}
+	dr := p.DataRewards
+	if dr.Mo != 12 || dr.Mi != -30 || dr.Ho != -20 || dr.Hi != 9 {
+		t.Errorf("data rewards %+v do not match Table 1", dr)
+	}
+	cr := p.CtrRewards
+	if cr.Hg != 13 || cr.Hb != -12 || cr.Mg != -16 || cr.Mb != 20 || cr.Eg != -22 || cr.Eb != 26 {
+		t.Errorf("ctr rewards %+v do not match Table 1", cr)
+	}
+}
+
+func TestComputeOverheadMatchesTable2(t *testing.T) {
+	p := DefaultParams()
+	// Table 2 line items: 32KB + 32KB Q-tables, 66KB CET.
+	o := ComputeOverhead(p, 128*1024/64) // 128KB LCR-CTR cache → 2048 lines
+	if o.DataQTableBytes != 32*1024 {
+		t.Errorf("data Q-table = %d bytes, want 32KB", o.DataQTableBytes)
+	}
+	if o.CtrQTableBytes != 32*1024 {
+		t.Errorf("ctr Q-table = %d bytes, want 32KB", o.CtrQTableBytes)
+	}
+	if o.CETBytes != 8192*65/8 {
+		t.Errorf("CET = %d bytes", o.CETBytes)
+	}
+	if o.Total() <= o.DataQTableBytes+o.CtrQTableBytes {
+		t.Error("total must include CET and LCR metadata")
+	}
+}
+
+// --- CET ---
+
+func TestCETInsertAndHit(t *testing.T) {
+	c := NewCET(4, 32)
+	if c.HitNearby(100) {
+		t.Fatal("empty CET must miss")
+	}
+	c.Insert(100, 1, 1)
+	if !c.HitNearby(100) {
+		t.Fatal("exact block must hit")
+	}
+	if !c.HitNearby(132) || !c.HitNearby(68) {
+		t.Fatal("±32 window must hit")
+	}
+	if c.HitNearby(133) || c.HitNearby(67) {
+		t.Fatal("outside ±32 must miss")
+	}
+}
+
+func TestCETWindowAcrossBuckets(t *testing.T) {
+	// Bucket width is 64; a block near a bucket edge must still see
+	// neighbours in the adjacent bucket.
+	c := NewCET(8, 32)
+	c.Insert(63, 0, 0) // bucket 0
+	if !c.HitNearby(64) || !c.HitNearby(95) {
+		t.Fatal("cross-bucket neighbourhood lookup failed")
+	}
+	if c.HitNearby(96) {
+		t.Fatal("96 is 33 away from 63 — must miss")
+	}
+}
+
+func TestCETLRUEviction(t *testing.T) {
+	c := NewCET(3, 0)
+	c.Insert(1, 10, 0)
+	c.Insert(2, 20, 1)
+	c.Insert(3, 30, 0)
+	ev, was := c.Insert(4, 40, 1)
+	if !was || ev.Block != 1 || ev.State != 10 {
+		t.Fatalf("evicted %+v, want block 1", ev)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.HitNearby(1) {
+		t.Fatal("evicted block must miss")
+	}
+}
+
+func TestCETReinsertPromotes(t *testing.T) {
+	c := NewCET(3, 0)
+	c.Insert(1, 0, 0)
+	c.Insert(2, 0, 0)
+	c.Insert(3, 0, 0)
+	c.Insert(1, 5, 1) // refresh block 1 → now MRU
+	head, ok := c.Head()
+	if !ok || head.Block != 1 || head.State != 5 || head.Action != 1 {
+		t.Fatalf("head %+v, want refreshed block 1", head)
+	}
+	ev, was := c.Insert(4, 0, 0)
+	if !was || ev.Block != 2 {
+		t.Fatalf("evicted %+v, want block 2 (1 was promoted)", ev)
+	}
+	if c.Len() != 3 {
+		t.Fatal("size drifted on reinsert")
+	}
+}
+
+func TestCETHeadTracksMRU(t *testing.T) {
+	c := NewCET(10, 0)
+	if _, ok := c.Head(); ok {
+		t.Fatal("empty CET has no head")
+	}
+	c.Insert(7, 70, 1)
+	c.Insert(8, 80, 0)
+	head, _ := c.Head()
+	if head.Block != 8 {
+		t.Fatalf("head = %d, want 8", head.Block)
+	}
+}
+
+func TestCETStorageBits(t *testing.T) {
+	c := NewCET(8192, 32)
+	if c.StorageBits() != 8192*65 {
+		t.Fatalf("storage = %d bits", c.StorageBits())
+	}
+}
+
+func TestCETChurn(t *testing.T) {
+	// Hammer with a large address space; size must never exceed capacity
+	// and bucket bookkeeping must not leak.
+	c := NewCET(64, 32)
+	rng := rl.NewRand(3)
+	for i := 0; i < 20000; i++ {
+		c.Insert(rng.Uint64()%100000, i, i&1)
+		if c.Len() > 64 {
+			t.Fatal("CET exceeded capacity")
+		}
+	}
+	if len(c.buckets) > 64 {
+		t.Fatalf("bucket map leaked: %d buckets for 64 entries", len(c.buckets))
+	}
+}
+
+// --- Data location predictor ---
+
+func TestDataPredictorLearnsStablePattern(t *testing.T) {
+	// Addresses in region A are always on-chip; region B always off-chip.
+	p := DefaultParams()
+	p.Data.Epsilon = 0.05
+	dp := NewDataPredictor(p)
+	rng := rl.NewRand(5)
+	addrOf := func(region int) uint64 {
+		base := uint64(region) << 30
+		return base + uint64(rng.Intn(4096))*64
+	}
+	for i := 0; i < 60000; i++ {
+		region := rng.Intn(2)
+		pred := dp.Predict(addrOf(region))
+		dp.Learn(pred, region == 1)
+	}
+	// Grade the learned policy greedily.
+	dp2 := dp
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		region := rng.Intn(2)
+		s := rl.HashState(addrOf(region), 16384)
+		a, _ := dp2.agent.Table.Best(s)
+		if (a == ActionOffChip) == (region == 1) {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Fatalf("greedy accuracy %.2f after training, want ≥0.85", acc)
+	}
+	if dp.Stats.Accuracy() < 0.7 {
+		t.Fatalf("online accuracy %.2f, want ≥0.7", dp.Stats.Accuracy())
+	}
+}
+
+func TestDataPredictorStatsDecomposition(t *testing.T) {
+	p := DefaultParams()
+	p.Data.Epsilon = 0
+	dp := NewDataPredictor(p)
+	pred := dp.Predict(0x1000)
+	r := dp.Learn(pred, pred.OffChip) // grade as correct either way
+	if r != p.DataRewards.Hi && r != p.DataRewards.Mo {
+		t.Fatalf("correct prediction reward = %v", r)
+	}
+	if dp.Stats.Total() != 1 {
+		t.Fatalf("stats total = %d", dp.Stats.Total())
+	}
+	pred2 := dp.Predict(0x2000)
+	r2 := dp.Learn(pred2, !pred2.OffChip)
+	if r2 != p.DataRewards.Ho && r2 != p.DataRewards.Mi {
+		t.Fatalf("incorrect prediction reward = %v", r2)
+	}
+	if dp.Stats.Accuracy() != 0.5 {
+		t.Fatalf("accuracy = %v", dp.Stats.Accuracy())
+	}
+}
+
+func TestDataPredictorExplorationRate(t *testing.T) {
+	p := DefaultParams() // ε = 0.1
+	dp := NewDataPredictor(p)
+	for i := 0; i < 20000; i++ {
+		dp.Predict(uint64(i) * 64)
+	}
+	r := dp.ExplorationRate()
+	if r < 0.08 || r > 0.12 {
+		t.Fatalf("exploration rate %v, want ≈0.1", r)
+	}
+}
+
+// --- CTR locality predictor ---
+
+func TestLocalityPredictorLearnsHotVsCold(t *testing.T) {
+	// Hot counter blocks recur rapidly (CET hits); cold blocks never
+	// recur. The predictor should classify hot as good, cold as bad.
+	p := DefaultParams()
+	p.CETEntries = 256
+	lp := NewLocalityPredictor(p)
+	rng := rl.NewRand(7)
+	hot := []uint64{1000, 2000, 3000, 4000}
+	coldNext := uint64(1 << 20)
+	for i := 0; i < 60000; i++ {
+		if rng.Intn(2) == 0 {
+			lp.Observe(hot[rng.Intn(len(hot))])
+		} else {
+			lp.Observe(coldNext)
+			coldNext += 100 // outside any window, never repeats
+		}
+	}
+	table := lp.agent.Table
+	for _, h := range hot {
+		s := rl.HashState(h<<6, table.States())
+		if a, _ := table.Best(s); a != ActionGoodLocality {
+			t.Errorf("hot block %d classified bad (Q: %v/%v)", h,
+				table.Q(s, 0), table.Q(s, 1))
+		}
+	}
+	// Cold states should lean bad: sample some.
+	bad := 0
+	for i := 0; i < 200; i++ {
+		s := rl.HashState((uint64(1<<20)+uint64(i)*100)<<6, table.States())
+		if a, _ := table.Best(s); a == ActionBadLocality {
+			bad++
+		}
+	}
+	if bad < 150 {
+		t.Errorf("only %d/200 cold states classified bad", bad)
+	}
+	if lp.Stats.CETHits == 0 || lp.Stats.CETMisses == 0 || lp.Stats.Evictions == 0 {
+		t.Errorf("stats not exercised: %+v", lp.Stats)
+	}
+}
+
+func TestLocalityPredictorSpatialNeighbourhood(t *testing.T) {
+	// Accesses marching within a ±32-block window must register CET hits
+	// (spatial locality), even though no block repeats exactly.
+	p := DefaultParams()
+	lp := NewLocalityPredictor(p)
+	for i := uint64(0); i < 1000; i++ {
+		lp.Observe(5000 + i%16) // tight window
+	}
+	if lp.Stats.CETHits < 900 {
+		t.Fatalf("spatial window produced only %d hits", lp.Stats.CETHits)
+	}
+}
+
+func TestLocalityPredictorGoodFraction(t *testing.T) {
+	var s CtrStats
+	if s.GoodFraction() != 0 {
+		t.Fatal("empty stats")
+	}
+	s = CtrStats{PredGood: 20, PredBad: 80}
+	if s.GoodFraction() != 0.2 {
+		t.Fatalf("good fraction %v", s.GoodFraction())
+	}
+}
+
+func TestClassificationScoreRange(t *testing.T) {
+	p := DefaultParams()
+	lp := NewLocalityPredictor(p)
+	for i := uint64(0); i < 5000; i++ {
+		c := lp.Observe(i % 64)
+		_ = c.Good
+		// Score is uint8 by construction; just ensure Observe is total.
+	}
+	if lp.Stats.PredGood+lp.Stats.PredBad != 5000 {
+		t.Fatal("every access must be classified")
+	}
+}
+
+func TestPaperAreaPowerTotals(t *testing.T) {
+	a, p := TotalAreaPower()
+	if a < 0.259 || a > 0.261 {
+		t.Errorf("total area %.3f mm², §4.6 says 0.260", a)
+	}
+	if p < 206 || p > 207 {
+		t.Errorf("total power %.2f mW, §4.6 says 206.65", p)
+	}
+	if len(PaperAreaPower()) != 4 {
+		t.Error("four components expected")
+	}
+}

@@ -1,0 +1,122 @@
+// Package core implements COSMOS itself — the paper's contribution: the
+// RL-based CTR locality predictor with its CTR Evaluation Table (Algorithm
+// 1), the RL-based data location predictor (Algorithm 3), their reward and
+// hyper-parameter sets (Table 1), and the hardware storage accounting
+// (Table 2). The LCR replacement policy they drive lives in internal/cache;
+// the secure-memory controller wiring lives in internal/secmem.
+package core
+
+// DataRewards are the four rewards of the data location predictor (§4.1.2):
+// rows are the actual location, columns the prediction.
+type DataRewards struct {
+	Hi float64 // R_D_hi: predicted on-chip,  was on-chip  (correct)
+	Mo float64 // R_D_mo: predicted off-chip, was off-chip (correct)
+	Ho float64 // R_D_ho: predicted off-chip, was on-chip  (penalty)
+	Mi float64 // R_D_mi: predicted on-chip,  was off-chip (penalty)
+}
+
+// CtrRewards are the six rewards of the CTR locality predictor (§4.1.1).
+type CtrRewards struct {
+	Hg float64 // R_C_hg: CET hit,  predicted good (correct)
+	Hb float64 // R_C_hb: CET hit,  predicted bad  (penalty)
+	Mb float64 // R_C_mb: CET miss, predicted bad  (correct)
+	Mg float64 // R_C_mg: CET miss, predicted good (penalty)
+	Eg float64 // R_C_eg: CET eviction, was predicted good (penalty)
+	Eb float64 // R_C_eb: CET eviction, was predicted bad  (correct)
+}
+
+// Hyper holds one predictor's learning hyper-parameters.
+type Hyper struct {
+	Alpha   float64
+	Gamma   float64
+	Epsilon float64
+}
+
+// Params bundles everything Table 1 specifies plus the structure sizes of
+// Table 2.
+type Params struct {
+	Data        Hyper
+	Ctr         Hyper
+	DataRewards DataRewards
+	CtrRewards  CtrRewards
+
+	QStates    int // entries per Q-table (Table 2: 16,384)
+	CETEntries int // Table 2: 8,192
+	// CETWindow is the ±window (in counter blocks) of the nearby-state
+	// check in Algorithm 1 line 9.
+	CETWindow uint64
+
+	Seed uint64
+}
+
+// DefaultParams returns the tuned values of Table 1 with the structure
+// sizes of Table 2.
+func DefaultParams() Params {
+	return Params{
+		Data:        Hyper{Alpha: 0.09, Gamma: 0.88, Epsilon: 0.1},
+		Ctr:         Hyper{Alpha: 0.05, Gamma: 0.35, Epsilon: 0.001},
+		DataRewards: DataRewards{Hi: 9, Mo: 12, Ho: -20, Mi: -30},
+		CtrRewards:  CtrRewards{Hg: 13, Hb: -12, Mb: 20, Mg: -16, Eg: -22, Eb: 26},
+		QStates:     16384,
+		CETEntries:  8192,
+		CETWindow:   32,
+		Seed:        1,
+	}
+}
+
+// Overhead itemises COSMOS's on-chip storage (Table 2). lcrLines is the
+// line count of the LCR-CTR cache (each line carries 1 prediction bit and
+// an 8-bit score).
+type Overhead struct {
+	DataQTableBytes int
+	CtrQTableBytes  int
+	CETBytes        int
+	LCRBytes        int
+}
+
+// Total sums the components.
+func (o Overhead) Total() int {
+	return o.DataQTableBytes + o.CtrQTableBytes + o.CETBytes + o.LCRBytes
+}
+
+// ComputeOverhead derives the storage budget from the parameters: two
+// Q-tables at 16 bits/entry, CET entries at 65 bits (64-bit address + 1
+// prediction bit), and 9 bits per LCR-CTR cache line.
+func ComputeOverhead(p Params, lcrLines int) Overhead {
+	return Overhead{
+		DataQTableBytes: p.QStates * 16 / 8,
+		CtrQTableBytes:  p.QStates * 16 / 8,
+		CETBytes:        p.CETEntries * 65 / 8,
+		LCRBytes:        lcrLines * 9 / 8,
+	}
+}
+
+// AreaPower records the 28nm SRAM-compiler estimates the paper reports for
+// each COSMOS structure (§4.6: 0.9V, 25C, 3GHz). These are technology
+// statements, reproduced as constants and totalled for the tab-power
+// experiment.
+type AreaPower struct {
+	Component string
+	AreaMM2   float64
+	PowerMW   float64
+}
+
+// PaperAreaPower returns the §4.6 component estimates.
+func PaperAreaPower() []AreaPower {
+	return []AreaPower{
+		{Component: "Data Q-table", AreaMM2: 0.057, PowerMW: 45.29},
+		{Component: "CTR Q-table", AreaMM2: 0.057, PowerMW: 45.29},
+		{Component: "CET", AreaMM2: 0.116, PowerMW: 92.00},
+		{Component: "LCR-CTR cache", AreaMM2: 0.030, PowerMW: 24.06},
+	}
+}
+
+// TotalAreaPower sums the component estimates (§4.6 reports 0.260 mm² and
+// 206.65 mW).
+func TotalAreaPower() (areaMM2, powerMW float64) {
+	for _, c := range PaperAreaPower() {
+		areaMM2 += c.AreaMM2
+		powerMW += c.PowerMW
+	}
+	return areaMM2, powerMW
+}

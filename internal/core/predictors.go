@@ -1,0 +1,212 @@
+package core
+
+import (
+	"cosmos/internal/rl"
+)
+
+// Action encoding shared by both predictors: for the data location
+// predictor action 1 = off-chip; for the CTR locality predictor action 1 =
+// good locality.
+const (
+	ActionOnChip  = 0
+	ActionOffChip = 1
+
+	ActionBadLocality  = 0
+	ActionGoodLocality = 1
+)
+
+// DataPredictor is the RL-based data location predictor (Algorithm 3): on
+// every L1 miss it predicts whether the line is on-chip (L2/LLC) or
+// off-chip (DRAM), enabling early CTR access for off-chip predictions.
+type DataPredictor struct {
+	agent   *rl.Agent
+	rewards DataRewards
+
+	Stats DataStats
+}
+
+// DataStats decomposes predictions for the Fig 12 study.
+type DataStats struct {
+	PredOnCorrect  uint64 // predicted on-chip, was on-chip
+	PredOnWrong    uint64 // predicted on-chip, was off-chip
+	PredOffCorrect uint64 // predicted off-chip, was off-chip
+	PredOffWrong   uint64 // predicted off-chip, was on-chip
+}
+
+// Total returns the number of graded predictions.
+func (s DataStats) Total() uint64 {
+	return s.PredOnCorrect + s.PredOnWrong + s.PredOffCorrect + s.PredOffWrong
+}
+
+// Accuracy returns overall prediction correctness (Fig 12's headline).
+func (s DataStats) Accuracy() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.PredOnCorrect+s.PredOffCorrect) / float64(t)
+}
+
+// NewDataPredictor builds the predictor from the parameter set.
+func NewDataPredictor(p Params) *DataPredictor {
+	table := rl.NewQTable(p.QStates, 2)
+	return &DataPredictor{
+		agent:   rl.NewAgent(table, p.Data.Alpha, p.Data.Gamma, p.Data.Epsilon, p.Seed^0xDA7A),
+		rewards: p.DataRewards,
+	}
+}
+
+// Prediction carries the state/action pair so the outcome can be graded
+// later (decision and training run as parallel processes, §4.4).
+type Prediction struct {
+	State   int
+	Action  int
+	OffChip bool
+}
+
+// Predict hashes the missing line's address into a state and selects the
+// ε-greedy action (Algorithm 3 lines 2-3).
+func (p *DataPredictor) Predict(addr uint64) Prediction {
+	s := rl.HashState(addr, p.agent.Table.States())
+	a := p.agent.Act(s)
+	return Prediction{State: s, Action: a, OffChip: a == ActionOffChip}
+}
+
+// Learn grades the prediction against the actual data location and applies
+// the Q update (Algorithm 3 lines 8-20). It returns the reward assigned.
+func (p *DataPredictor) Learn(pred Prediction, actualOffChip bool) float64 {
+	var r float64
+	switch {
+	case !actualOffChip && pred.Action == ActionOnChip:
+		r = p.rewards.Hi
+		p.Stats.PredOnCorrect++
+	case !actualOffChip && pred.Action == ActionOffChip:
+		r = p.rewards.Ho
+		p.Stats.PredOffWrong++
+	case actualOffChip && pred.Action == ActionOffChip:
+		r = p.rewards.Mo
+		p.Stats.PredOffCorrect++
+	default: // off-chip, predicted on-chip
+		r = p.rewards.Mi
+		p.Stats.PredOnWrong++
+	}
+	// Bootstrap on the actual location's Q-value in the same state
+	// (Algorithm 3 lines 19-20).
+	actual := ActionOnChip
+	if actualOffChip {
+		actual = ActionOffChip
+	}
+	next := p.agent.Table.Q(pred.State, actual)
+	p.agent.Learn(pred.State, pred.Action, r, next)
+	return r
+}
+
+// ExplorationRate reports the observed ε-greedy exploration fraction.
+func (p *DataPredictor) ExplorationRate() float64 { return p.agent.ExplorationRate() }
+
+// Table exposes the Q-table (for quantization studies and tests).
+func (p *DataPredictor) Table() *rl.QTable { return p.agent.Table }
+
+// LocalityPredictor is the RL-based CTR locality predictor (Algorithm 1):
+// on every CTR access it classifies the counter block as good or bad
+// locality; the CET grades those classifications over a temporal window.
+type LocalityPredictor struct {
+	agent   *rl.Agent
+	cet     *CET
+	rewards CtrRewards
+
+	Stats CtrStats
+}
+
+// CtrStats decomposes classifications for the Fig 13 study.
+type CtrStats struct {
+	PredGood  uint64
+	PredBad   uint64
+	CETHits   uint64
+	CETMisses uint64
+	Evictions uint64
+}
+
+// GoodFraction is the share of CTR accesses classified good locality.
+func (s CtrStats) GoodFraction() float64 {
+	t := s.PredGood + s.PredBad
+	if t == 0 {
+		return 0
+	}
+	return float64(s.PredGood) / float64(t)
+}
+
+// NewLocalityPredictor builds the predictor with its CET.
+func NewLocalityPredictor(p Params) *LocalityPredictor {
+	table := rl.NewQTable(p.QStates, 2)
+	return &LocalityPredictor{
+		agent:   rl.NewAgent(table, p.Ctr.Alpha, p.Ctr.Gamma, p.Ctr.Epsilon, p.Seed^0xC7C7),
+		cet:     NewCET(p.CETEntries, p.CETWindow),
+		rewards: p.CtrRewards,
+	}
+}
+
+// CET exposes the evaluation table (for the Fig 9 sweep).
+func (p *LocalityPredictor) CET() *CET { return p.cet }
+
+// Classification is the predictor's output for one CTR access: the
+// good/bad locality tag and the 8-bit confidence score the LCR-CTR cache
+// stores with the line.
+type Classification struct {
+	Good  bool
+	Score uint8
+}
+
+// Observe runs Algorithm 1 for one CTR access, identified by its counter
+// block index: decide, grade against the CET, update the Q-table, insert
+// into the CET, and process any CET eviction.
+func (p *LocalityPredictor) Observe(ctrBlock uint64) Classification {
+	table := p.agent.Table
+	s := rl.HashState(ctrBlock<<6, table.States())
+	a := p.agent.Act(s)
+	good := a == ActionGoodLocality
+	if good {
+		p.Stats.PredGood++
+	} else {
+		p.Stats.PredBad++
+	}
+
+	// Training: grade against the CET neighbourhood (lines 9-15).
+	var r float64
+	if p.cet.HitNearby(ctrBlock) {
+		p.Stats.CETHits++
+		if good {
+			r = p.rewards.Hg
+		} else {
+			r = p.rewards.Hb
+		}
+	} else {
+		p.Stats.CETMisses++
+		if good {
+			r = p.rewards.Mg
+		} else {
+			r = p.rewards.Mb
+		}
+	}
+
+	// Bootstrap on the CET head (lines 16-17).
+	var next float64
+	if head, ok := p.cet.Head(); ok {
+		next = table.Q(head.State, head.Action)
+	}
+	p.agent.Learn(s, a, r, next)
+
+	// Insert and settle any eviction (lines 18-23).
+	if ev, evicted := p.cet.Insert(ctrBlock, s, a); evicted {
+		p.Stats.Evictions++
+		var re float64
+		if ev.Action == ActionGoodLocality {
+			re = p.rewards.Eg
+		} else {
+			re = p.rewards.Eb
+		}
+		p.agent.Learn(ev.State, ev.Action, re, next)
+	}
+
+	return Classification{Good: good, Score: table.Score(s, a)}
+}

@@ -1,0 +1,89 @@
+package dram
+
+import "testing"
+
+func TestRowBufferHit(t *testing.T) {
+	m := New(Config{})
+	l1 := m.Access(0, 0, false)      // cold: activate + CAS
+	l2 := m.Access(10000, 64, false) // same row, idle bank: CAS only
+	if l2 >= l1 {
+		t.Fatalf("row hit latency %d should be below cold access %d", l2, l1)
+	}
+	if m.Stats.RowHits != 1 || m.Stats.RowMisses != 1 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	m := New(Config{})
+	nbanks := uint64(len(m.freeAt))
+	rowBytes := m.cfg.RowBytes
+	m.Access(0, 0, false)
+	// Same bank, different row: needs precharge + activate + CAS.
+	conflictAddr := rowBytes * nbanks
+	l := m.Access(100000, conflictAddr, false)
+	want := m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS + m.cfg.TBus + m.cfg.Queue
+	if l != want {
+		t.Fatalf("conflict latency %d, want %d", l, want)
+	}
+}
+
+func TestBankBusyQueueing(t *testing.T) {
+	m := New(Config{})
+	l1 := m.Access(0, 0, false)
+	// Immediate second access to the same bank must wait for the first.
+	l2 := m.Access(0, 64, false)
+	if l2 <= m.MinReadLatency() {
+		t.Fatalf("back-to-back same-bank access latency %d should include queueing (>%d)", l2, m.MinReadLatency())
+	}
+	if l2 != l1+m.MinReadLatency() {
+		t.Fatalf("expected wait %d + service %d, got %d", l1, m.MinReadLatency(), l2)
+	}
+	if m.Stats.BusyStalls == 0 {
+		t.Fatal("busy stalls not recorded")
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	m := New(Config{})
+	// Accesses to different banks at the same instant don't queue.
+	l1 := m.Access(0, 0, false)
+	l2 := m.Access(0, m.cfg.RowBytes, false) // next row → different bank
+	if l2 != l1 {
+		t.Fatalf("parallel banks should see equal cold latency: %d vs %d", l1, l2)
+	}
+}
+
+func TestReadWriteCounting(t *testing.T) {
+	m := New(Config{})
+	m.Access(0, 0, false)
+	m.Access(0, 1<<20, true)
+	m.Access(0, 2<<20, true)
+	if m.Stats.Reads != 1 || m.Stats.Writes != 2 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	m := New(Config{})
+	for i := uint64(0); i < 128; i++ {
+		m.Access(i*1000, i*64, false) // sequential within one row (8KB)
+	}
+	if r := m.Stats.RowHitRate(); r < 0.9 {
+		t.Fatalf("sequential stream row-hit rate = %v, want ≥0.9", r)
+	}
+	var empty Stats
+	if empty.RowHitRate() != 0 {
+		t.Fatal("empty stats should report 0")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	m := New(Config{Channels: 1})
+	if m.cfg.TCAS == 0 || m.cfg.RowBytes == 0 || m.cfg.BanksPer == 0 {
+		t.Fatalf("defaults not applied: %+v", m.cfg)
+	}
+	if m.MinReadLatency() != m.cfg.TCAS+m.cfg.TBus+m.cfg.Queue {
+		t.Fatal("MinReadLatency inconsistent")
+	}
+}

@@ -1,0 +1,139 @@
+package enclave
+
+import (
+	"testing"
+
+	"cosmos/internal/ctr"
+	"cosmos/internal/memsys"
+)
+
+func newXTS(t *testing.T) *XTSMemory {
+	t.Helper()
+	m, err := NewXTS(1<<20, []byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestXTSRoundTrip(t *testing.T) {
+	m := newXTS(t)
+	p := lineOf("xts protected data")
+	if err := m.Write(0x400, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x400)
+	if err != nil || got != p {
+		t.Fatalf("round trip: %v", err)
+	}
+	ct, _ := m.Snapshot(0x400)
+	if ct == p {
+		t.Fatal("XTS did not encrypt")
+	}
+}
+
+func TestXTSSpatialUniqueness(t *testing.T) {
+	// Different addresses → different tweaks → different ciphertext.
+	m := newXTS(t)
+	p := lineOf("same plaintext")
+	m.Write(0, p)
+	m.Write(64, p)
+	a, _ := m.Snapshot(0)
+	b, _ := m.Snapshot(64)
+	if a == b {
+		t.Fatal("XTS tweak failed to separate addresses")
+	}
+}
+
+func TestXTSCiphertextSideChannel(t *testing.T) {
+	// §2.1 / CIPHERLEAKS: rewriting identical plaintext at the same
+	// address yields the *same* ciphertext under XTS — an observer of
+	// DRAM learns when a value returns to a previous state. AES-CTR's
+	// counters prevent exactly this.
+	xts := newXTS(t)
+	p := lineOf("account balance: 100")
+	xts.Write(0x80, p)
+	ct1, _ := xts.Snapshot(0x80)
+	xts.Write(0x80, lineOf("account balance: 0"))
+	xts.Write(0x80, p)
+	ct2, _ := xts.Snapshot(0x80)
+	if ct1 != ct2 {
+		t.Fatal("XTS is deterministic per location; equal plaintext must repeat ciphertext")
+	}
+
+	ctrMem, err := New(1<<20, testKey, ctr.Morph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrMem.Write(0x80, p)
+	c1, _, _ := ctrMem.Snapshot(0x80)
+	ctrMem.Write(0x80, lineOf("account balance: 0"))
+	ctrMem.Write(0x80, p)
+	c2, _, _ := ctrMem.Snapshot(0x80)
+	if c1 == c2 {
+		t.Fatal("AES-CTR must never repeat ciphertext (counter advanced)")
+	}
+}
+
+func TestXTSCannotDetectReplay(t *testing.T) {
+	// The replay the Merkle tree catches in TestDetectsReplayAttack goes
+	// completely unnoticed under XTS: the stale balance decrypts cleanly.
+	m := newXTS(t)
+	addr := memsys.Addr(0x400)
+	rich := lineOf("balance=100")
+	m.Write(addr, rich)
+	stale, _ := m.Snapshot(addr)
+
+	m.Write(addr, lineOf("balance=0"))
+	m.Restore(addr, stale) // attacker replays old DRAM contents
+
+	got, err := m.Read(addr)
+	if err != nil {
+		t.Fatalf("XTS has no integrity check to fail: %v", err)
+	}
+	if got != rich {
+		t.Fatal("replayed ciphertext should decrypt to the stale value")
+	}
+	// This silent success IS the vulnerability — the paper's argument
+	// for AES-CTR+MT despite its counter-cache cost.
+}
+
+func TestXTSCannotDetectTampering(t *testing.T) {
+	m := newXTS(t)
+	m.Write(0, lineOf("important"))
+	ct, _ := m.Snapshot(0)
+	ct[5] ^= 0xff
+	m.Restore(0, ct)
+	got, err := m.Read(0)
+	if err != nil {
+		t.Fatal("XTS read never errors")
+	}
+	if got == lineOf("important") {
+		t.Fatal("tampering should at least garble the plaintext")
+	}
+}
+
+func TestXTSValidation(t *testing.T) {
+	m := newXTS(t)
+	if err := m.Write(3, Line{}); err != ErrNotLineAligned {
+		t.Fatal("alignment check")
+	}
+	if _, err := m.Read(1 << 20); err != ErrOutOfRange {
+		t.Fatal("range check")
+	}
+	if _, err := NewXTS(0, testKey, testKey); err == nil {
+		t.Fatal("zero size")
+	}
+	if _, err := NewXTS(64, []byte("bad"), testKey); err == nil {
+		t.Fatal("bad data key")
+	}
+	if _, err := NewXTS(64, testKey, []byte("bad")); err == nil {
+		t.Fatal("bad tweak key")
+	}
+	if m.Size() != 1<<20 {
+		t.Fatal("size")
+	}
+	if got, err := m.Read(0x9000); err != nil || got != (Line{}) {
+		t.Fatal("unwritten XTS line reads zero")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/stats"
+	"cosmos/internal/workloads"
+)
+
+// The §3 characterisation studies use the 128KB-per-core CTR cache.
+const charCtrBytes = 128 << 10
+
+// Fig2 compares a non-protected system against secure memory with MorphCtr
+// across the eight graph algorithms: DRAM traffic decomposition (normalised
+// to NP) and the CTR cache miss rate.
+func Fig2(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 2: memory traffic (normalised to NP) and CTR miss rate",
+		"workload", "np-traffic", "data-rd", "data-wr", "ctr", "mt-read", "mac", "re-enc", "total-vs-np", "ctr-miss")
+	for _, w := range workloads.GraphNames() {
+		np := l.run(w, secmem.DesignNP(), runOpts{ctrBytes: charCtrBytes})
+		m := l.run(w, secmem.DesignMorph(), runOpts{ctrBytes: charCtrBytes})
+		npTotal := float64(np.Traffic.Total())
+		tr := m.Traffic
+		norm := func(v uint64) string { return fmt.Sprintf("%.2f", float64(v)/npTotal) }
+		t.Row(w,
+			np.Traffic.Total(),
+			norm(tr.DataRead), norm(tr.DataWrite),
+			norm(tr.CtrRead+tr.CtrWrite),
+			norm(tr.MTRead),
+			norm(tr.MACRead+tr.MACWrite),
+			norm(tr.ReEncWrite),
+			stats.Ratio(float64(tr.Total())/npTotal),
+			stats.Pct(m.CtrMissRate),
+		)
+	}
+	return t
+}
+
+// Fig3 sweeps the CTR cache from 128KB to 2MB on DFS, PR and GC: the paper
+// finds an 8× capacity increase buys only ≈5 points of miss rate.
+func Fig3(l *Lab) *stats.Table {
+	sizes := []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	t := stats.NewTable("Fig 3: CTR cache size vs miss rate",
+		"workload", "128KB", "256KB", "512KB", "1MB", "2MB")
+	for _, w := range []string{"DFS", "PR", "GC"} {
+		row := []interface{}{w}
+		for _, sz := range sizes {
+			r := l.run(w, secmem.DesignMorph(), runOpts{ctrBytes: sz})
+			row = append(row, stats.Pct(r.CtrMissRate))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// Fig4 contrasts CTR access after the LLC (baseline) with oracle CTR access
+// after every L1 miss: miss rate and MT-read traffic drop, total read/write
+// traffic rises slightly.
+func Fig4(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 4: CTR after L1 vs after LLC",
+		"workload", "miss@LLC", "miss@L1", "Δmiss", "mt@LLC", "mt@L1", "rw@LLC", "rw@L1")
+	for _, w := range workloads.GraphNames() {
+		base := l.run(w, secmem.DesignMorph(), runOpts{ctrBytes: charCtrBytes})
+		early := l.run(w, secmem.DesignOracleL1(), runOpts{ctrBytes: charCtrBytes})
+		rw := func(tr secmem.Traffic) uint64 {
+			return tr.DataRead + tr.DataWrite + tr.CtrRead + tr.CtrWrite
+		}
+		t.Row(w,
+			stats.Pct(base.CtrMissRate), stats.Pct(early.CtrMissRate),
+			fmt.Sprintf("%+.1fpp", 100*(early.CtrMissRate-base.CtrMissRate)),
+			base.Traffic.MTRead, early.Traffic.MTRead,
+			rw(base.Traffic), rw(early.Traffic),
+		)
+	}
+	return t
+}
+
+// Fig5 evaluates conventional CTR-cache optimisations on DFS with CTR
+// access after L1 misses: three prefetchers and three replacement policies
+// against the plain LRU baseline. The paper finds none helps.
+func Fig5(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 5: prefetchers and replacement policies on the CTR cache (DFS)",
+		"variant", "ctr-miss", "IPC", "pf-accuracy")
+	base := l.run("DFS", secmem.DesignOracleL1(), runOpts{ctrBytes: charCtrBytes})
+	t.Row("LRU (baseline)", stats.Pct(base.CtrMissRate), base.IPC, "-")
+	for _, pf := range []string{"nextline", "stride", "berti"} {
+		r := l.run("DFS", secmem.DesignOracleL1(), runOpts{ctrBytes: charCtrBytes, ctrPf: pf})
+		t.Row(pf, stats.Pct(r.CtrMissRate), r.IPC, stats.Pct(r.Prefetch.Accuracy()))
+	}
+	for _, pol := range []string{"RRIP", "SHiP", "Mockingjay"} {
+		r := l.run("DFS", secmem.DesignOracleL1(), runOpts{ctrBytes: charCtrBytes, ctrPolicy: pol})
+		t.Row(pol, stats.Pct(r.CtrMissRate), r.IPC, "-")
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/stats"
+	"cosmos/internal/workloads"
+)
+
+// evalWorkloads are Fig 10's benchmarks: the eight graph algorithms plus
+// the three irregular SPEC-like kernels.
+func evalWorkloads() []string {
+	return append(workloads.GraphNames(), workloads.SpecNames()...)
+}
+
+// evalDesigns are the Table 4 variants plus the baseline.
+func evalDesigns() []secmem.Design {
+	return []secmem.Design{
+		secmem.DesignMorph(),
+		secmem.DesignCosmosDP(),
+		secmem.DesignCosmosCP(),
+		secmem.DesignCosmos(),
+	}
+}
+
+// Fig10 reports performance normalised to the non-protected system for
+// MorphCtr and the three COSMOS variants across all irregular workloads.
+func Fig10(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 10: performance normalised to NP (higher is better)",
+		"workload", "MorphCtr", "COSMOS-DP", "COSMOS-CP", "COSMOS", "COSMOS-vs-Morph")
+	var sumM, sumC float64
+	n := 0
+	for _, w := range evalWorkloads() {
+		var vals []interface{}
+		vals = append(vals, w)
+		var morph, cos float64
+		for _, d := range evalDesigns() {
+			p := l.perf(w, d, runOpts{})
+			vals = append(vals, p)
+			switch d.Name {
+			case "MorphCtr":
+				morph = p
+			case "COSMOS":
+				cos = p
+			}
+		}
+		gain := cos/morph - 1
+		vals = append(vals, fmt.Sprintf("%+.1f%%", 100*gain))
+		t.Row(vals...)
+		sumM += morph
+		sumC += cos
+		n++
+	}
+	t.Row("geomean-ish avg", sumM/float64(n), "", "", sumC/float64(n),
+		fmt.Sprintf("%+.1f%%", 100*(sumC/sumM-1)))
+	return t
+}
+
+// Fig11 reports the CTR cache miss rate of each design variant on the
+// graph algorithms.
+func Fig11(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 11: CTR cache miss rate per design",
+		"workload", "MorphCtr", "COSMOS-DP", "COSMOS-CP", "COSMOS")
+	for _, w := range workloads.GraphNames() {
+		row := []interface{}{w}
+		for _, d := range evalDesigns() {
+			row = append(row, stats.Pct(l.run(w, d, runOpts{}).CtrMissRate))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// Fig12 decomposes the data location predictor's decisions on each graph
+// algorithm under full COSMOS: correct/incorrect on-chip and off-chip
+// shares plus overall accuracy.
+func Fig12(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 12: data location prediction distribution and accuracy",
+		"workload", "on-ok", "on-wrong", "off-ok", "off-wrong", "accuracy")
+	for _, w := range workloads.GraphNames() {
+		r := l.run(w, secmem.DesignCosmos(), runOpts{})
+		if r.DataPred == nil {
+			continue
+		}
+		p := r.DataPred
+		tot := float64(p.Total())
+		f := func(v uint64) string { return stats.Pct(float64(v) / tot) }
+		t.Row(w, f(p.PredOnCorrect), f(p.PredOnWrong), f(p.PredOffCorrect), f(p.PredOffWrong),
+			stats.Pct(p.Accuracy()))
+	}
+	return t
+}
+
+// Fig13 compares the share of CTR accesses classified good locality under
+// full COSMOS (early CTR stream) and COSMOS-CP (post-LLC stream): early
+// access surfaces far more reusable counters.
+func Fig13(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 13: share of CTR accesses classified good locality",
+		"workload", "COSMOS-CP", "COSMOS")
+	for _, w := range workloads.GraphNames() {
+		cp := l.run(w, secmem.DesignCosmosCP(), runOpts{})
+		full := l.run(w, secmem.DesignCosmos(), runOpts{})
+		var a, b float64
+		if cp.CtrPred != nil {
+			a = cp.CtrPred.GoodFraction()
+		}
+		if full.CtrPred != nil {
+			b = full.CtrPred.GoodFraction()
+		}
+		t.Row(w, stats.Pct(a), stats.Pct(b))
+	}
+	return t
+}
+
+// Fig14 reports SMAT (Eq 1-2) for every secure design across all irregular
+// workloads.
+func Fig14(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 14: Secure Memory Access Time (cycles, lower is better)",
+		"workload", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS", "bypass-share")
+	for _, w := range evalWorkloads() {
+		m := l.run(w, secmem.DesignMorph(), runOpts{})
+		cp := l.run(w, secmem.DesignCosmosCP(), runOpts{})
+		dp := l.run(w, secmem.DesignCosmosDP(), runOpts{})
+		full := l.run(w, secmem.DesignCosmos(), runOpts{})
+		bypass := 0.0
+		if full.OffChipReads > 0 {
+			bypass = float64(full.Bypassed) / float64(full.OffChipReads)
+		}
+		t.Row(w, m.SMAT, cp.SMAT, dp.SMAT, full.SMAT, stats.Pct(bypass))
+	}
+	return t
+}
+
+// Fig15 compares COSMOS and MorphCtr at 4 and 8 cores (16MB LLC) on the
+// seven scalability workloads.
+func Fig15(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 15: scalability (performance normalised to NP)",
+		"workload", "Morph-4c", "COSMOS-4c", "gain-4c", "Morph-8c", "COSMOS-8c", "gain-8c")
+	ws := []string{"BFS", "DFS", "TC", "GC", "CC", "SP", "DC"}
+	var g4, g8 float64
+	for _, w := range ws {
+		m4 := l.perf(w, secmem.DesignMorph(), runOpts{cores: 4})
+		c4 := l.perf(w, secmem.DesignCosmos(), runOpts{cores: 4})
+		m8 := l.perf(w, secmem.DesignMorph(), runOpts{cores: 8})
+		c8 := l.perf(w, secmem.DesignCosmos(), runOpts{cores: 8})
+		t.Row(w, m4, c4, fmt.Sprintf("%+.1f%%", 100*(c4/m4-1)),
+			m8, c8, fmt.Sprintf("%+.1f%%", 100*(c8/m8-1)))
+		g4 += c4 / m4
+		g8 += c8 / m8
+	}
+	t.Row("average", "", "", fmt.Sprintf("%+.1f%%", 100*(g4/float64(len(ws))-1)),
+		"", "", fmt.Sprintf("%+.1f%%", 100*(g8/float64(len(ws))-1)))
+	return t
+}
+
+// Fig16 compares full COSMOS against the idealised EMCC implementation and
+// the RMCC-like memoization baseline (§6.2).
+func Fig16(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 16: COSMOS vs idealised EMCC and RMCC (normalised to NP)",
+		"workload", "MorphCtr", "EMCC", "RMCC", "COSMOS", "COSMOS-vs-EMCC")
+	var sumE, sumC float64
+	n := 0
+	for _, w := range workloads.GraphNames() {
+		m := l.perf(w, secmem.DesignMorph(), runOpts{})
+		e := l.perf(w, secmem.DesignEMCC(), runOpts{})
+		rm := l.perf(w, secmem.DesignRMCC(), runOpts{})
+		c := l.perf(w, secmem.DesignCosmos(), runOpts{})
+		t.Row(w, m, e, rm, c, fmt.Sprintf("%+.1f%%", 100*(c/e-1)))
+		sumE += e
+		sumC += c
+		n++
+	}
+	t.Row("average", "", sumE/float64(n), "", sumC/float64(n),
+		fmt.Sprintf("%+.1f%%", 100*(sumC/sumE-1)))
+	return t
+}
+
+// Fig17 runs the regular ML workloads: COSMOS must not regress and gains
+// stay modest because re-encryption, not CTR misses, dominates.
+func Fig17(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 17: ML workloads (normalised to NP)",
+		"workload", "MorphCtr", "COSMOS", "gain", "reenc-share")
+	for _, w := range workloads.MLNames() {
+		m := l.perf(w, secmem.DesignMorph(), runOpts{})
+		c := l.perf(w, secmem.DesignCosmos(), runOpts{})
+		r := l.run(w, secmem.DesignMorph(), runOpts{})
+		reenc := 0.0
+		if tot := r.Traffic.DataWrite + r.Traffic.ReEncWrite; tot > 0 {
+			reenc = float64(r.Traffic.ReEncWrite) / float64(tot)
+		}
+		t.Row(w, m, c, fmt.Sprintf("%+.1f%%", 100*(c/m-1)), stats.Pct(reenc))
+	}
+	return t
+}

@@ -1,0 +1,229 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each Fig*/Tab* function runs the required simulations and
+// renders the same rows/series the paper reports. Results are memoised per
+// (workload, design, configuration) so composite figures share runs.
+//
+// Absolute numbers differ from the paper's gem5 testbed; EXPERIMENTS.md
+// records measured-vs-paper values and the shape checks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+	"cosmos/internal/stats"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// Scale sizes the experiments: the full scale reproduces the paper's
+// regime (counter working sets far beyond every CTR cache); smaller scales
+// run fast for tests and benchmarks.
+type Scale struct {
+	GraphNodes  int
+	GraphDegree int
+	Accesses    uint64
+	Seed        uint64
+	// Fig8Points are the access checkpoints of the Fig 8 learning curve.
+	Fig8Points []uint64
+}
+
+// DefaultScale is the full reproduction scale (~seconds per run).
+func DefaultScale() Scale {
+	return Scale{
+		GraphNodes:  2_000_000,
+		GraphDegree: 8,
+		Accesses:    2_000_000,
+		Seed:        42,
+		Fig8Points:  []uint64{400_000, 800_000, 1_200_000, 1_600_000, 2_000_000},
+	}
+}
+
+// SmallScale runs each experiment in well under a second, for tests and
+// testing.B benchmarks. Shapes soften at this scale but stay directional.
+func SmallScale() Scale {
+	return Scale{
+		GraphNodes:  300_000,
+		GraphDegree: 8,
+		Accesses:    400_000,
+		Seed:        42,
+		Fig8Points:  []uint64{100_000, 200_000, 300_000, 400_000},
+	}
+}
+
+// Scaled interpolates between SmallScale (factor 0) and beyond DefaultScale
+// (factor ≥ 1) for the cosmos-bench -scale flag.
+func Scaled(factor float64) Scale {
+	if factor <= 0 {
+		return SmallScale()
+	}
+	d := DefaultScale()
+	d.GraphNodes = int(float64(d.GraphNodes) * factor)
+	if d.GraphNodes < 50_000 {
+		d.GraphNodes = 50_000
+	}
+	d.Accesses = uint64(float64(d.Accesses) * factor)
+	if d.Accesses < 100_000 {
+		d.Accesses = 100_000
+	}
+	d.Fig8Points = nil
+	for i := 1; i <= 5; i++ {
+		d.Fig8Points = append(d.Fig8Points, d.Accesses*uint64(i)/5)
+	}
+	return d
+}
+
+// Lab runs and memoises simulations for one Scale.
+type Lab struct {
+	Scale Scale
+
+	mu    sync.Mutex
+	cache map[string]sim.Results
+}
+
+// NewLab creates a result-sharing experiment context.
+func NewLab(sc Scale) *Lab {
+	return &Lab{Scale: sc, cache: make(map[string]sim.Results)}
+}
+
+// runOpts tweaks one simulation beyond the design defaults.
+type runOpts struct {
+	cores     int
+	ctrBytes  int
+	ctrPolicy string
+	ctrPf     string
+}
+
+// run executes (or recalls) one workload × design simulation.
+func (l *Lab) run(workload string, design secmem.Design, opt runOpts) sim.Results {
+	if opt.cores == 0 {
+		opt.cores = 4
+	}
+	key := fmt.Sprintf("%s|%s|%+v", workload, design.Name, opt)
+	l.mu.Lock()
+	if r, ok := l.cache[key]; ok {
+		l.mu.Unlock()
+		return r
+	}
+	l.mu.Unlock()
+
+	if opt.ctrBytes != 0 {
+		design.CtrCacheBytes = opt.ctrBytes
+	}
+	if opt.ctrPolicy != "" {
+		design.CtrPolicy = opt.ctrPolicy
+	}
+	if opt.ctrPf != "" {
+		design.CtrPrefetcher = opt.ctrPf
+	}
+
+	cfg := sim.DefaultConfig()
+	if opt.cores == 8 {
+		cfg = sim.EightCore()
+	} else {
+		cfg.Cores = opt.cores
+	}
+	cfg.MC.Seed = l.Scale.Seed
+	cfg.MC.Params.Seed = l.Scale.Seed
+
+	gen, err := workloads.Build(workload, workloads.Options{
+		Threads:     opt.cores,
+		Seed:        l.Scale.Seed,
+		GraphNodes:  l.Scale.GraphNodes,
+		GraphDegree: l.Scale.GraphDegree,
+	})
+	if err != nil {
+		panic(err) // workload names are internal constants
+	}
+	s := sim.New(cfg, design)
+	r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+
+	l.mu.Lock()
+	l.cache[key] = r
+	l.mu.Unlock()
+	return r
+}
+
+// perf returns performance normalised to the non-protected system
+// (cycles_NP / cycles_design, 1.0 = NP speed), the metric of Figs 10 and
+// 15-17.
+func (l *Lab) perf(workload string, design secmem.Design, opt runOpts) float64 {
+	np := l.run(workload, secmem.DesignNP(), opt)
+	d := l.run(workload, design, opt)
+	if d.Cycles == 0 {
+		return 0
+	}
+	return float64(np.Cycles) / float64(d.Cycles)
+}
+
+// Perf exposes the NP-normalised performance of a design on a workload at
+// this lab's scale — the Fig 10 metric — for external tools and probes.
+func (l *Lab) Perf(workload string, design secmem.Design) float64 {
+	return l.perf(workload, design, runOpts{})
+}
+
+// Run exposes one memoised simulation for external consumers.
+func (l *Lab) Run(workload string, design secmem.Design) sim.Results {
+	return l.run(workload, design, runOpts{})
+}
+
+// Experiment binds an id to its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(l *Lab) *stats.Table
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "Memory traffic & CTR miss: NP vs MorphCtr (graph algorithms)", Fig2},
+		{"fig3", "CTR cache size vs miss rate (DFS, PR, GC)", Fig3},
+		{"fig4", "CTR access after L1 vs after LLC", Fig4},
+		{"fig5", "Prefetchers & replacement policies on the CTR cache (DFS)", Fig5},
+		{"tab1", "Reward values and hyper-parameters", Tab1},
+		{"fig8", "Prediction correctness & CTR miss vs accesses (BFS, MLP)", Fig8},
+		{"fig9", "CET size vs good-locality share & LCR-CTR miss rate (DFS)", Fig9},
+		{"tab2", "Storage overhead of COSMOS", Tab2},
+		{"tab3", "Simulation settings", Tab3},
+		{"tab4", "COSMOS design variations", Tab4},
+		{"fig10", "Performance normalised to NP (all designs)", Fig10},
+		{"fig11", "CTR cache miss rate per design", Fig11},
+		{"fig12", "Data location prediction distribution & accuracy", Fig12},
+		{"fig13", "Good-locality CTR share: COSMOS vs COSMOS-CP", Fig13},
+		{"fig14", "Secure Memory Access Time (SMAT)", Fig14},
+		{"fig15", "Scalability: 4-core vs 8-core", Fig15},
+		{"fig16", "COSMOS vs idealised EMCC", Fig16},
+		{"fig17", "Regular ML workloads: MorphCtr vs COSMOS", Fig17},
+		{"abl-layout", "Ablation: heap-scattered vs packed CSR layout", AblLayout},
+		{"abl-traversal", "Ablation: MT traversal accounting", AblTraversal},
+		{"abl-lcr", "Ablation: CTR replacement policies at equal capacity", AblLCR},
+		{"abl-quant", "Ablation: float vs 8-bit Q-value decisions", AblQuantization},
+		{"abl-mee", "Ablation: Bonsai/MorphCtr vs SGX-MEE-style metadata", AblMEE},
+		{"abl-hyper", "Ablation: hyper-parameter sensitivity around Table 1", AblHyper},
+		{"tab-power", "Area and power accounting (§4.6)", TabPower},
+		{"ext-epc", "Extension: SGXv1-style secure-region sweep", ExtEPC},
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

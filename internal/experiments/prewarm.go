@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sync"
+
+	"cosmos/internal/secmem"
+)
+
+// prewarmJobs enumerates the (workload, design, opts) matrix shared by the
+// evaluation figures (10-17), so a parallel prewarm pass can populate the
+// lab's memo before the figures render serially.
+func prewarmJobs() []func(l *Lab) {
+	var jobs []func(l *Lab)
+	designs4 := []secmem.Design{
+		secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignEMCC(),
+		secmem.DesignRMCC(), secmem.DesignCosmosDP(), secmem.DesignCosmosCP(),
+		secmem.DesignCosmos(),
+	}
+	for _, w := range evalWorkloads() {
+		for _, d := range designs4 {
+			w, d := w, d
+			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{}) })
+		}
+	}
+	// Fig 15's 8-core runs.
+	for _, w := range []string{"BFS", "DFS", "TC", "GC", "CC", "SP", "DC"} {
+		for _, d := range []secmem.Design{secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos()} {
+			w, d := w, d
+			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{cores: 8}) })
+		}
+	}
+	// Fig 17's ML runs.
+	for _, w := range []string{"AlexNet", "ResNet", "VGG", "BERT", "Transformer", "DLRM"} {
+		for _, d := range []secmem.Design{secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos()} {
+			w, d := w, d
+			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{}) })
+		}
+	}
+	return jobs
+}
+
+// Prewarm runs the evaluation-figure simulation matrix with the given
+// worker parallelism, populating the lab's memo so the subsequent serial
+// figure rendering is instant. Every simulation is still deterministic —
+// parallelism only affects wall-clock, never results.
+func Prewarm(l *Lab, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := prewarmJobs()
+	ch := make(chan func(l *Lab))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				job(l)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosmos/internal/core"
+	"cosmos/internal/memsys"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+	"cosmos/internal/stats"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// Tab1 prints the tuned reward values and hyper-parameters.
+func Tab1(*Lab) *stats.Table {
+	p := core.DefaultParams()
+	t := stats.NewTable("Table 1: reward values and hyper-parameters", "parameter", "value")
+	t.Row("R_D_mo", p.DataRewards.Mo)
+	t.Row("R_D_mi", p.DataRewards.Mi)
+	t.Row("R_D_ho", p.DataRewards.Ho)
+	t.Row("R_D_hi", p.DataRewards.Hi)
+	t.Row("R_C_hg", p.CtrRewards.Hg)
+	t.Row("R_C_hb", p.CtrRewards.Hb)
+	t.Row("R_C_mg", p.CtrRewards.Mg)
+	t.Row("R_C_mb", p.CtrRewards.Mb)
+	t.Row("R_C_eg", p.CtrRewards.Eg)
+	t.Row("R_C_eb", p.CtrRewards.Eb)
+	t.Row("alpha_D / gamma_D / epsilon_D", fmt.Sprintf("%.2f / %.2f / %.3f", p.Data.Alpha, p.Data.Gamma, p.Data.Epsilon))
+	t.Row("alpha_C / gamma_C / epsilon_C", fmt.Sprintf("%.2f / %.2f / %.3f", p.Ctr.Alpha, p.Ctr.Gamma, p.Ctr.Epsilon))
+	return t
+}
+
+// Tab2 recomputes COSMOS's storage overhead from the structure sizes.
+func Tab2(l *Lab) *stats.Table {
+	p := core.DefaultParams()
+	lcrLines := (128 << 10) / memsys.LineSize
+	o := core.ComputeOverhead(p, lcrLines)
+	t := stats.NewTable("Table 2: storage overhead of COSMOS", "component", "details", "bytes", "paper")
+	t.Row("Data Q-Table", fmt.Sprintf("%d entries x 16 bits", p.QStates), o.DataQTableBytes, "32KB")
+	t.Row("CTR Q-Table", fmt.Sprintf("%d entries x 16 bits", p.QStates), o.CtrQTableBytes, "32KB")
+	t.Row("CET", fmt.Sprintf("%d entries x 65 bits", p.CETEntries), o.CETBytes, "66KB")
+	t.Row("LCR-CTR cache", fmt.Sprintf("%d lines x 9 bits", lcrLines), o.LCRBytes, "17KB")
+	t.Row("Total", "", o.Total(), "147KB")
+	return t
+}
+
+// Tab3 prints the simulated machine (Table 3).
+func Tab3(*Lab) *stats.Table {
+	c := sim.DefaultConfig()
+	t := stats.NewTable("Table 3: simulation settings", "parameter", "value")
+	t.Row("Cores", fmt.Sprintf("%d cores, OoO model (MLP=%d), 3GHz", c.Cores, c.MLP))
+	t.Row("L1 cache", fmt.Sprintf("%d cycles, %s, %d-way", c.L1Lat, memsys.Bytes(uint64(c.L1Bytes)), c.L1Ways))
+	t.Row("L2 cache", fmt.Sprintf("%d cycles, %s, %d-way", c.L2Lat, memsys.Bytes(uint64(c.L2Bytes)), c.L2Ways))
+	t.Row("LLC", fmt.Sprintf("%d cycles, %s, %d-way", c.LLCLat, memsys.Bytes(uint64(c.LLCBytes)), c.LLCWays))
+	t.Row("Memory", fmt.Sprintf("DDR4-2400-like, %s", memsys.Bytes(c.MC.MemBytes)))
+	t.Row("AES latency", fmt.Sprintf("%d cycles", c.MC.AESLat))
+	t.Row("Authentication latency", fmt.Sprintf("%d cycles", c.MC.AuthLat))
+	t.Row("MAC", "64 bits per 64B line")
+	t.Row("CTR cache", fmt.Sprintf("LRU, %s per core", memsys.Bytes(uint64(c.MC.CtrCacheBytes))))
+	t.Row("CTR combination", fmt.Sprintf("%d cycle", c.MC.CombineLat))
+	t.Row("Re-encryption", "extra 64B DRAM request after 67 writes")
+	t.Row("LCR-CTR cache", fmt.Sprintf("%s per core", memsys.Bytes(uint64(c.MC.LCRCacheBytes))))
+	return t
+}
+
+// Tab4 lists the design variations of the ablation study.
+func Tab4(*Lab) *stats.Table {
+	t := stats.NewTable("Table 4: COSMOS design variations", "design", "description")
+	t.Row("COSMOS-DP", "data location predictor only (128KB LRU CTR cache)")
+	t.Row("COSMOS-CP", "CTR locality predictor + LCR-CTR cache (128KB)")
+	t.Row("COSMOS", "full RL implementation (both predictors + LCR)")
+	return t
+}
+
+// Fig8 tracks the data-location prediction correctness and the CTR cache
+// miss rate as memory accesses accumulate, for BFS (graph, seen-like during
+// tuning) and MLP (non-graph, unseen) under full COSMOS.
+func Fig8(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 8: prediction correctness and CTR miss rate vs accesses",
+		"workload", "accesses", "pred-correct", "ctr-miss")
+	for _, w := range []string{"BFS", "MLP"} {
+		gen, err := workloads.Build(w, workloads.Options{
+			Threads: 4, Seed: l.Scale.Seed,
+			GraphNodes: l.Scale.GraphNodes, GraphDegree: l.Scale.GraphDegree,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MC.Seed = l.Scale.Seed
+		cfg.MC.Params.Seed = l.Scale.Seed
+		s := sim.New(cfg, secmem.DesignCosmos())
+		var done uint64
+		for _, point := range l.Scale.Fig8Points {
+			for done < point {
+				a, ok := gen.Next()
+				if !ok {
+					break
+				}
+				s.Step(a)
+				done++
+			}
+			r := s.Results(w)
+			acc := 0.0
+			if r.DataPred != nil {
+				acc = r.DataPred.Accuracy()
+			}
+			t.Row(w, done, stats.Pct(acc), stats.Pct(r.CtrMissRate))
+		}
+		trace.CloseIfCloser(gen)
+	}
+	return t
+}
+
+// Fig9 sweeps the CET entry count on DFS under full COSMOS: the share of
+// CTR accesses classified good locality grows with the CET, while the
+// LCR-CTR miss rate bottoms out around the paper's 8,192-entry choice.
+func Fig9(l *Lab) *stats.Table {
+	t := stats.NewTable("Fig 9: CET size vs good-locality share and LCR-CTR miss rate",
+		"cet-entries", "good-locality", "lcr-ctr-miss")
+	for _, entries := range []int{512, 2048, 4096, 8192, 10240, 16384, 32768} {
+		gen, err := workloads.Build("DFS", workloads.Options{
+			Threads: 4, Seed: l.Scale.Seed,
+			GraphNodes: l.Scale.GraphNodes, GraphDegree: l.Scale.GraphDegree,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MC.Seed = l.Scale.Seed
+		cfg.MC.Params.Seed = l.Scale.Seed
+		cfg.MC.Params.CETEntries = entries
+		s := sim.New(cfg, secmem.DesignCosmos())
+		r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+		good := 0.0
+		if r.CtrPred != nil {
+			good = r.CtrPred.GoodFraction()
+		}
+		t.Row(entries, stats.Pct(good), stats.Pct(r.CtrMissRate))
+	}
+	return t
+}

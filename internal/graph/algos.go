@@ -1,0 +1,638 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"cosmos/internal/memsys"
+	"cosmos/internal/trace"
+)
+
+// Region signatures: each logical data structure gets a distinct tag that
+// stands in for the PC of the accessing instruction.
+const (
+	SigOffsets uint16 = 1
+	SigEdges   uint16 = 2
+	SigProp    uint16 = 3
+	SigProp2   uint16 = 4
+	SigWork    uint16 = 5
+	SigVisited uint16 = 6
+	SigWeights uint16 = 7
+)
+
+// Workspace binds a graph to a synthetic address-space layout so algorithm
+// runs can emit the address of every logical load and store: per-vertex
+// object records (degree/offset, properties, visited flags), scattered
+// adjacency-list chunks, per-thread worklists, and an edge-weight array for
+// SP.
+//
+// Layout realism: GraphBIG stores graphs as heap-allocated vertex and edge
+// objects, so the memory position of a vertex is uncorrelated with its ID.
+// We reproduce that with a hash permutation (Scatter, on by default): vertex
+// v's records live at permuted index, and each adjacency list occupies its
+// own scattered chunk. Turning Scatter off yields a packed CSR layout — the
+// ablation benches compare the two.
+type Workspace struct {
+	G       *Graph
+	Threads int
+	Scatter bool
+
+	offsets memsys.Region
+	edges   memsys.Region
+	weights memsys.Region
+	prop    memsys.Region
+	prop2   memsys.Region
+	visited []memsys.Region // per thread
+	work    []memsys.Region // per thread
+
+	vMask     uint64 // permutation ring size - 1 (power of two ≥ N)
+	edgeLines uint64 // lines in the edges region
+}
+
+// NewWorkspace lays out the graph's arrays starting at base, partitioned for
+// the given thread count, with heap-style scattering enabled.
+func NewWorkspace(g *Graph, threads int, base memsys.Addr) *Workspace {
+	return newWorkspace(g, threads, base, true)
+}
+
+// NewPackedWorkspace lays the arrays out as packed CSR (no scattering) —
+// the layout-ablation variant.
+func NewPackedWorkspace(g *Graph, threads int, base memsys.Addr) *Workspace {
+	return newWorkspace(g, threads, base, false)
+}
+
+func newWorkspace(g *Graph, threads int, base memsys.Addr, scatter bool) *Workspace {
+	if threads < 1 {
+		threads = 1
+	}
+	l := memsys.NewLayout(base)
+	w := &Workspace{G: g, Threads: threads, Scatter: scatter}
+	n := uint64(g.N)
+	pow2 := uint64(1)
+	for pow2 < n+1 {
+		pow2 <<= 1
+	}
+	w.vMask = pow2 - 1
+	// Vertex records are multi-line heap objects (GraphBIG keeps
+	// per-vertex property objects, not packed scalars); edge records are
+	// 16-byte list nodes (target + weight + next pointer).
+	w.offsets = l.Alloc("offsets", pow2, vertexObjBytes)
+	// Edge region: sized 2× the packed edge count (rounded to lines) so
+	// scattered chunks rarely wrap.
+	edgeLines := (uint64(len(g.Edges))*edgeObjBytes/memsys.LineSize + 1) * 2
+	ep := uint64(1)
+	for ep < edgeLines {
+		ep <<= 1
+	}
+	w.edgeLines = ep
+	w.edges = l.Alloc("edges", ep*edgesPerLine, edgeObjBytes)
+	w.weights = l.Alloc("weights", ep*edgesPerLine, edgeObjBytes)
+	w.prop = l.Alloc("prop", pow2, vertexObjBytes)
+	w.prop2 = l.Alloc("prop2", pow2, vertexObjBytes)
+	for t := 0; t < threads; t++ {
+		w.visited = append(w.visited, l.Alloc("visited", pow2, vertexObjBytes))
+		w.work = append(w.work, l.Alloc("work", n+1, 4))
+	}
+	return w
+}
+
+// Object sizes modelling GraphBIG's heap representation: each vertex is a
+// C++ property object (fields, vector headers, adjacency-list head and
+// allocator metadata — a few cache lines), each edge a 16-byte list node.
+const (
+	vertexObjBytes = 256
+	edgeObjBytes   = 16
+	edgesPerLine   = memsys.LineSize / edgeObjBytes
+)
+
+// vIdx maps a vertex ID to its record index: a bijective multiplicative
+// permutation over the power-of-two ring when scattering, identity when
+// packed.
+func (w *Workspace) vIdx(v uint32) uint64 {
+	if !w.Scatter {
+		return uint64(v)
+	}
+	return (uint64(v)*0x9E3779B1 + 0x7F4A7C15) & w.vMask
+}
+
+// edgeIdx maps edge slot i of vertex u to an element index in the edges
+// region: each vertex's list occupies a contiguous chunk placed at a hashed
+// line offset (its own heap allocation).
+func (w *Workspace) edgeIdx(u uint32, i int) uint64 {
+	if !w.Scatter {
+		return uint64(w.G.Offsets[u]) + uint64(i)
+	}
+	chunkLine := (uint64(u)*0x85EBCA6B + 0xC2B2AE35) & (w.edgeLines - 1)
+	return chunkLine*edgesPerLine + uint64(i)
+}
+
+// Footprint returns the total bytes of the laid-out arrays.
+func (w *Workspace) Footprint() uint64 {
+	total := w.offsets.Size + w.edges.Size + w.weights.Size + w.prop.Size + w.prop2.Size
+	for t := range w.visited {
+		total += w.visited[t].Size + w.work[t].Size
+	}
+	return total
+}
+
+// weightOf derives a deterministic edge weight in [1,16].
+func weightOf(edgeIdx uint32) uint32 { return edgeIdx%16 + 1 }
+
+// emitter wraps the push callback with typed load/store helpers.
+type emitter struct {
+	emit   func(memsys.Access)
+	thread uint8
+}
+
+func (e emitter) load(r memsys.Region, i uint64, sig uint16) {
+	e.emit(memsys.Access{Addr: r.At(i), Type: memsys.Read, Thread: e.thread, Region: sig})
+}
+
+func (e emitter) store(r memsys.Region, i uint64, sig uint16) {
+	e.emit(memsys.Access{Addr: r.At(i), Type: memsys.Write, Thread: e.thread, Region: sig})
+}
+
+// neighbors emits the loads performed to walk u's adjacency (offset pair +
+// each edge word) and returns the adjacency slice.
+func (e emitter) neighbors(w *Workspace, u uint32) []uint32 {
+	e.load(w.offsets, w.vIdx(u), SigOffsets)
+	return w.G.Neighbors(u)
+}
+
+// rangeFor splits [0, n) into `threads` contiguous chunks.
+func rangeFor(n, threads, t int) (lo, hi uint32) {
+	lo = uint32(n * t / threads)
+	hi = uint32(n * (t + 1) / threads)
+	return lo, hi
+}
+
+// interleaved wraps per-thread push programs into a single deterministic
+// generator.
+func (w *Workspace) interleaved(name string, chunk int, programs []func(e emitter)) trace.Generator {
+	gens := make([]trace.Generator, len(programs))
+	for t := range programs {
+		prog := programs[t]
+		th := uint8(t)
+		gens[t] = trace.FromFunc(name, func(emit func(memsys.Access)) {
+			prog(emitter{emit: emit, thread: th})
+		})
+	}
+	return trace.NewInterleave(name, gens, chunk)
+}
+
+// singleProgram runs one deterministic program that interleaves work for
+// every logical thread itself (used by the algorithms whose threads share
+// mutable state — CC, SP, GC). A single producer goroutine eliminates the
+// scheduling-dependent data races that per-thread producers would have, so
+// the emitted trace is exactly reproducible; the program interleaves
+// per-thread work at vertex granularity to preserve the multi-core access
+// mix.
+func (w *Workspace) singleProgram(name string, run func(es []emitter)) trace.Generator {
+	return trace.FromFunc(name, func(emit func(memsys.Access)) {
+		es := make([]emitter, w.Threads)
+		for t := range es {
+			es[t] = emitter{emit: emit, thread: uint8(t)}
+		}
+		run(es)
+	})
+}
+
+// forEachInterleaved visits every vertex exactly once, interleaving the
+// thread partitions at vertex granularity (thread 0's i-th vertex, thread
+// 1's i-th vertex, ...), which is how the merged trace of barrier-free
+// parallel threads looks without depending on real scheduling.
+func forEachInterleaved(n, threads int, visit func(t int, u uint32)) {
+	span := (n + threads - 1) / threads
+	for i := 0; i < span; i++ {
+		for t := 0; t < threads; t++ {
+			lo, hi := rangeFor(n, threads, t)
+			u := lo + uint32(i)
+			if u < hi {
+				visit(t, u)
+			}
+		}
+	}
+}
+
+// InterleaveChunk is the per-thread burst length used when merging thread
+// streams; it approximates the reorder window of interleaved cores.
+const InterleaveChunk = 64
+
+// --- BFS ---
+
+// BFSResult carries the computed levels for correctness checks (thread 0's
+// traversal).
+type BFSResult struct {
+	Level []int32 // -1 if unreached by thread 0's BFS
+}
+
+// BFS runs one breadth-first traversal per thread, each from a different
+// root, matching GraphBIG's multi-instance configuration. Every offset,
+// edge, visited-flag and queue operation is emitted.
+func BFS(w *Workspace, seed uint64) (trace.Generator, *BFSResult) {
+	res := &BFSResult{Level: make([]int32, w.G.N)}
+	for i := range res.Level {
+		res.Level[i] = -1
+	}
+	programs := make([]func(emitter), w.Threads)
+	for t := 0; t < w.Threads; t++ {
+		t := t
+		root := uint32((seed + uint64(t)*2654435761) % uint64(w.G.N))
+		programs[t] = func(e emitter) {
+			n := w.G.N
+			level := make([]int32, n)
+			for i := range level {
+				level[i] = -1
+			}
+			queue := make([]uint32, 0, n)
+			level[root] = 0
+			queue = append(queue, root)
+			e.store(w.visited[t], w.vIdx(root), SigVisited)
+			e.store(w.work[t], 0, SigWork)
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				e.load(w.work[t], uint64(head), SigWork)
+				adj := e.neighbors(w, u)
+				for i, v := range adj {
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					e.load(w.visited[t], w.vIdx(v), SigVisited)
+					if level[v] < 0 {
+						level[v] = level[u] + 1
+						e.store(w.visited[t], w.vIdx(v), SigVisited)
+						e.store(w.work[t], uint64(len(queue)), SigWork)
+						queue = append(queue, v)
+					}
+				}
+			}
+			if t == 0 {
+				copy(res.Level, level)
+			}
+		}
+	}
+	return w.interleaved("BFS", InterleaveChunk, programs), res
+}
+
+// --- DFS ---
+
+// DFSResult reports how many vertices thread 0's traversal reached.
+type DFSResult struct {
+	VisitedCount int
+	Preorder     []uint32 // thread 0's preorder sequence
+}
+
+// DFS runs one iterative depth-first traversal per thread from distinct
+// roots — the benchmark the paper tunes COSMOS on.
+func DFS(w *Workspace, seed uint64) (trace.Generator, *DFSResult) {
+	res := &DFSResult{}
+	programs := make([]func(emitter), w.Threads)
+	for t := 0; t < w.Threads; t++ {
+		t := t
+		root := uint32((seed + uint64(t)*40503) % uint64(w.G.N))
+		programs[t] = func(e emitter) {
+			n := w.G.N
+			visited := make([]bool, n)
+			stack := make([]uint32, 0, 1024)
+			var preorder []uint32
+			stack = append(stack, root)
+			e.store(w.work[t], 0, SigWork)
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				e.load(w.work[t], uint64(len(stack)), SigWork)
+				e.load(w.visited[t], w.vIdx(u), SigVisited)
+				if visited[u] {
+					continue
+				}
+				visited[u] = true
+				preorder = append(preorder, u)
+				e.store(w.visited[t], w.vIdx(u), SigVisited)
+				adj := e.neighbors(w, u)
+				for i := len(adj) - 1; i >= 0; i-- {
+					v := adj[i]
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					e.load(w.visited[t], w.vIdx(v), SigVisited)
+					if !visited[v] {
+						e.store(w.work[t], uint64(len(stack)), SigWork)
+						stack = append(stack, v)
+					}
+				}
+			}
+			if t == 0 {
+				res.VisitedCount = len(preorder)
+				res.Preorder = preorder
+			}
+		}
+	}
+	return w.interleaved("DFS", InterleaveChunk, programs), res
+}
+
+// --- PageRank ---
+
+// PRResult carries the final ranks (fixed-point ×1e6, stored atomically).
+type PRResult struct {
+	Ranks []uint32 // rank × 1e6
+}
+
+// PageRank runs `iters` Jacobi iterations, vertex-partitioned: every thread
+// reads the shared rank array at its in-neighbours (irregular gathers) and
+// writes its own slice of the next-rank array.
+func PageRank(w *Workspace, iters int) (trace.Generator, *PRResult) {
+	n := w.G.N
+	const scale = 1e6
+	cur := make([]uint32, n)
+	next := make([]uint32, n)
+	for i := range cur {
+		cur[i] = uint32(scale / float64(n) * 1e3) // rank×1e9/n keeps precision
+	}
+	res := &PRResult{Ranks: cur}
+	programs := make([]func(emitter), w.Threads)
+	for t := 0; t < w.Threads; t++ {
+		t := t
+		programs[t] = func(e emitter) {
+			lo, hi := rangeFor(n, w.Threads, t)
+			for it := 0; it < iters; it++ {
+				src, dst := cur, next
+				if it%2 == 1 {
+					src, dst = next, cur
+				}
+				srcReg, dstReg := w.prop, w.prop2
+				if it%2 == 1 {
+					srcReg, dstReg = w.prop2, w.prop
+				}
+				for u := lo; u < hi; u++ {
+					var sum uint64
+					adj := e.neighbors(w, u)
+					for i, v := range adj {
+						e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+						// gather: rank[v]/deg[v]
+						e.load(srcReg, w.vIdx(v), SigProp)
+						e.load(w.offsets, w.vIdx(v), SigOffsets)
+						d := w.G.Degree(v)
+						if d > 0 {
+							sum += uint64(atomic.LoadUint32(&src[v])) / uint64(d)
+						}
+					}
+					newRank := uint64(0.15*scale*1e3/float64(n)) + uint64(0.85*float64(sum))
+					atomic.StoreUint32(&dst[u], uint32(newRank))
+					e.store(dstReg, w.vIdx(u), SigProp2)
+				}
+			}
+			if iters%2 == 1 {
+				// final values live in `next`; mirror into cur for res
+				for u := lo; u < hi; u++ {
+					atomic.StoreUint32(&cur[u], atomic.LoadUint32(&next[u]))
+				}
+			}
+		}
+	}
+	return w.interleaved("PR", InterleaveChunk, programs), res
+}
+
+// --- Connected Components (label propagation) ---
+
+// CCResult carries the converged labels.
+type CCResult struct {
+	Labels []uint32
+}
+
+// ConnectedComponents runs label propagation to a fixed point: each sweep
+// every vertex reads its neighbours' labels and adopts the minimum. Work is
+// vertex-interleaved across the logical threads; rounds cap at maxRounds.
+func ConnectedComponents(w *Workspace, maxRounds int) (trace.Generator, *CCResult) {
+	n := w.G.N
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	res := &CCResult{Labels: labels}
+	gen := w.singleProgram("CC", func(es []emitter) {
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			forEachInterleaved(n, w.Threads, func(t int, u uint32) {
+				e := es[t]
+				e.load(w.prop, w.vIdx(u), SigProp)
+				min := labels[u]
+				adj := e.neighbors(w, u)
+				for i, v := range adj {
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					e.load(w.prop, w.vIdx(v), SigProp)
+					if labels[v] < min {
+						min = labels[v]
+					}
+				}
+				if min < labels[u] {
+					labels[u] = min
+					e.store(w.prop, w.vIdx(u), SigProp)
+					changed = true
+				}
+			})
+			if !changed {
+				break
+			}
+		}
+	})
+	return gen, res
+}
+
+// --- Shortest Path (Bellman-Ford sweeps) ---
+
+// SPResult carries the converged distances from the root.
+type SPResult struct {
+	Dist []uint32 // ^uint32(0) = unreachable
+}
+
+// ShortestPath relaxes edges in vertex-interleaved sweeps (Bellman-Ford
+// style) from a single root, reading dist[v] for every neighbour — the
+// irregular gather the paper's SP benchmark performs.
+func ShortestPath(w *Workspace, root uint32, maxRounds int) (trace.Generator, *SPResult) {
+	n := w.G.N
+	const inf = ^uint32(0)
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	res := &SPResult{Dist: dist}
+	gen := w.singleProgram("SP", func(es []emitter) {
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			forEachInterleaved(n, w.Threads, func(t int, u uint32) {
+				e := es[t]
+				e.load(w.prop, w.vIdx(u), SigProp)
+				du := dist[u]
+				if du == inf {
+					return
+				}
+				adj := e.neighbors(w, u)
+				for i, v := range adj {
+					ei := uint64(w.G.Offsets[u]) + uint64(i)
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					e.load(w.weights, w.edgeIdx(u, i), SigWeights)
+					nd := du + weightOf(uint32(ei))
+					e.load(w.prop, w.vIdx(v), SigProp)
+					if nd < dist[v] {
+						dist[v] = nd
+						e.store(w.prop, w.vIdx(v), SigProp)
+						changed = true
+					}
+				}
+			})
+			if !changed {
+				break
+			}
+		}
+	})
+	return gen, res
+}
+
+// --- Graph Coloring (greedy, Jones-Plassmann flavoured) ---
+
+// GCResult carries the assigned colors.
+type GCResult struct {
+	Colors []uint32
+}
+
+// GraphColoring greedily colors vertices in a vertex-interleaved sweep:
+// each vertex reads all neighbour colors and picks the smallest free one;
+// a second sweep resolves boundary conflicts the interleaving introduced.
+func GraphColoring(w *Workspace) (trace.Generator, *GCResult) {
+	n := w.G.N
+	colors := make([]uint32, n)
+	const uncolored = ^uint32(0)
+	for i := range colors {
+		colors[i] = uncolored
+	}
+	res := &GCResult{Colors: colors}
+	gen := w.singleProgram("GC", func(es []emitter) {
+		colorOf := func(e emitter, u uint32) {
+			adj := e.neighbors(w, u)
+			used := make(map[uint32]bool, len(adj))
+			for i, v := range adj {
+				e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+				e.load(w.prop, w.vIdx(v), SigProp)
+				if c := colors[v]; c != uncolored {
+					used[c] = true
+				}
+			}
+			c := uint32(0)
+			for used[c] {
+				c++
+			}
+			colors[u] = c
+			e.store(w.prop, w.vIdx(u), SigProp)
+		}
+		forEachInterleaved(n, w.Threads, func(t int, u uint32) {
+			colorOf(es[t], u)
+		})
+		// conflict-resolution sweep: recolor any vertex sharing a color
+		// with a smaller-indexed neighbour
+		forEachInterleaved(n, w.Threads, func(t int, u uint32) {
+			e := es[t]
+			cu := colors[u]
+			e.load(w.prop, w.vIdx(u), SigProp)
+			adj := e.neighbors(w, u)
+			for i, v := range adj {
+				e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+				e.load(w.prop, w.vIdx(v), SigProp)
+				if v < u && colors[v] == cu {
+					colorOf(e, u)
+					break
+				}
+			}
+		})
+	})
+	return gen, res
+}
+
+// --- Triangle Counting ---
+
+// TCResult carries the triangle count. Read it only after the generator is
+// fully drained (the producer channels closing establish the necessary
+// happens-before edge).
+type TCResult struct {
+	total uint64
+}
+
+// Count returns the number of triangles found so far.
+func (r *TCResult) Count() uint64 { return atomic.LoadUint64(&r.total) }
+
+// TriangleCounting merge-intersects sorted adjacency lists per edge (u,v)
+// with u<v — long dual streaming reads through the edge array with poor
+// temporal locality, exactly the paper's TC profile.
+func TriangleCounting(w *Workspace) (trace.Generator, *TCResult) {
+	res := &TCResult{}
+	programs := make([]func(emitter), w.Threads)
+	for t := 0; t < w.Threads; t++ {
+		t := t
+		programs[t] = func(e emitter) {
+			lo, hi := rangeFor(w.G.N, w.Threads, t)
+			var local uint64
+			for u := lo; u < hi; u++ {
+				adjU := e.neighbors(w, u)
+				for i, v := range adjU {
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					if v <= u {
+						continue
+					}
+					adjV := e.neighbors(w, v)
+					// emit the merge's reads: both lists streamed
+					ai, bi := 0, 0
+					for ai < len(adjU) && bi < len(adjV) {
+						e.load(w.edges, w.edgeIdx(u, ai), SigEdges)
+						e.load(w.edges, w.edgeIdx(v, bi), SigEdges)
+						x, y := adjU[ai], adjV[bi]
+						switch {
+						case x < y:
+							ai++
+						case y < x:
+							bi++
+						default:
+							if x > v {
+								local++
+							}
+							ai++
+							bi++
+						}
+					}
+				}
+			}
+			atomic.AddUint64(&res.total, local)
+		}
+	}
+	return w.interleaved("TC", InterleaveChunk, programs), res
+}
+
+// --- Degree Centrality ---
+
+// DCResult carries per-vertex degree centrality (in+out degree).
+type DCResult struct {
+	Centrality []uint32
+}
+
+// DegreeCentrality computes each vertex's centrality (in+out degree) by
+// walking its own adjacency lists, GraphBIG-style: scattered vertex-object
+// reads, per-vertex edge-list scans, one property write per vertex.
+func DegreeCentrality(w *Workspace) (trace.Generator, *DCResult) {
+	n := w.G.N
+	cent := make([]uint32, n)
+	res := &DCResult{Centrality: cent}
+	programs := make([]func(emitter), w.Threads)
+	for t := 0; t < w.Threads; t++ {
+		t := t
+		programs[t] = func(e emitter) {
+			lo, hi := rangeFor(n, w.Threads, t)
+			for u := lo; u < hi; u++ {
+				adj := e.neighbors(w, u)
+				// count the list by walking it (the in-list and
+				// out-list coincide in our symmetric representation)
+				deg := uint32(0)
+				for i := range adj {
+					e.load(w.edges, w.edgeIdx(u, i), SigEdges)
+					deg++
+				}
+				atomic.StoreUint32(&cent[u], 2*deg)
+				e.store(w.prop, w.vIdx(u), SigProp)
+			}
+		}
+	}
+	return w.interleaved("DC", InterleaveChunk, programs), res
+}

@@ -1,0 +1,238 @@
+package integrity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosmos/internal/memsys"
+)
+
+func TestTreeLayoutDepth(t *testing.T) {
+	cases := []struct {
+		leaves uint64
+		depth  int
+		nodes  uint64
+	}{
+		{1, 0, 0},
+		{8, 1, 1},
+		{9, 2, 2 + 1},
+		{64, 2, 8 + 1},
+		{4194304, 8, 0}, // 32GB MorphCtr: 8^8 > 4.2M ≥ 8^7
+	}
+	for _, c := range cases {
+		tl := NewTreeLayout(c.leaves, 8, 0)
+		if tl.Depth() != c.depth {
+			t.Errorf("leaves=%d depth=%d, want %d", c.leaves, tl.Depth(), c.depth)
+		}
+		if c.nodes != 0 && tl.NodeCount() != c.nodes {
+			t.Errorf("leaves=%d nodes=%d, want %d", c.leaves, tl.NodeCount(), c.nodes)
+		}
+	}
+}
+
+func TestPathExcludesRoot(t *testing.T) {
+	tl := NewTreeLayout(64, 8, 1<<30)
+	var buf []memsys.Addr
+	p := tl.PathNodes(17, buf)
+	// 64 leaves: level1 has 8 nodes (fetched), level2 is the root (not).
+	if len(p) != 1 {
+		t.Fatalf("path length %d, want 1", len(p))
+	}
+	if p[0] != tl.NodeAddr(1, 17/8) {
+		t.Fatalf("path node %#x, want level-1 node %d", uint64(p[0]), 17/8)
+	}
+	// Single-level tree: path is empty (root covers the leaves directly).
+	small := NewTreeLayout(8, 8, 0)
+	if len(small.PathNodes(3, nil)) != 0 {
+		t.Fatal("8-leaf tree path should be empty (root only)")
+	}
+}
+
+func TestPathNodesShareAncestors(t *testing.T) {
+	tl := NewTreeLayout(4096, 8, 0) // depth 4: levels 512, 64, 8, root
+	a := tl.PathNodes(0, nil)
+	b := append([]memsys.Addr(nil), tl.PathNodes(7, nil)...)
+	if len(a) != 3 {
+		t.Fatalf("depth-4 tree should fetch 3 nodes, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("leaves 0 and 7 share all ancestors; differ at level %d", i+1)
+		}
+	}
+	c := tl.PathNodes(8, nil)
+	if c[0] == a[0] {
+		t.Fatal("leaves 0 and 8 must differ at level 1")
+	}
+	if c[1] != a[1] {
+		t.Fatal("leaves 0 and 8 share the level-2 ancestor")
+	}
+}
+
+func TestPathAddressesDisjointLevels(t *testing.T) {
+	tl := NewTreeLayout(4096, 8, 4096)
+	f := func(leafRaw uint16) bool {
+		leaf := uint64(leafRaw) % 4096
+		p := tl.PathNodes(leaf, nil)
+		seen := map[memsys.Addr]bool{}
+		for _, a := range p {
+			if seen[a] || a%memsys.LineSize != 0 {
+				return false
+			}
+			seen[a] = true
+		}
+		return len(p) == tl.Depth()-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureLayoutRegions(t *testing.T) {
+	l := NewSecureLayout(1<<20, 128) // 1MB data, MorphCtr coverage
+	lines := uint64(1<<20) / 64      // 16384
+	ctrBlocks := lines / 128         // 128
+	if l.CtrBase != memsys.Addr(1<<20) {
+		t.Fatal("CTR region must start after data")
+	}
+	if uint64(l.MACBase-l.CtrBase) != ctrBlocks*64 {
+		t.Fatalf("ctr region size %d", l.MACBase-l.CtrBase)
+	}
+	if uint64(l.MTBase-l.MACBase) != (lines/8)*64 {
+		t.Fatalf("mac region size %d", l.MTBase-l.MACBase)
+	}
+	if l.CtrBlockOf(0) != 0 || l.CtrBlockOf(128) != 1 {
+		t.Fatal("CtrBlockOf wrong")
+	}
+	if l.CtrAddr(129) != l.CtrBase+64 {
+		t.Fatal("CtrAddr wrong")
+	}
+	if l.MACAddr(8) != l.MACBase+64 {
+		t.Fatal("MACAddr wrong")
+	}
+	if l.MetadataBytes() == 0 {
+		t.Fatal("metadata bytes")
+	}
+}
+
+func TestPaperMTDepth32GB(t *testing.T) {
+	// §3.1: 32GB / 64B = 537M lines; /128 = 4.2M counter blocks. With an
+	// 8-ary tree that is 8 levels — the paper quotes ~22 *binary*-tree
+	// levels; our 8-ary tree fetches ⌈log8(4.2M)⌉−1 = 7 nodes per miss.
+	l := NewSecureLayout(32<<30, 128)
+	if l.Tree.Depth() != 8 {
+		t.Fatalf("32GB MorphCtr tree depth = %d, want 8", l.Tree.Depth())
+	}
+	if got := len(l.Tree.PathNodes(123456, nil)); got != 7 {
+		t.Fatalf("path fetches %d nodes, want 7", got)
+	}
+}
+
+// --- HashTree (functional) ---
+
+func TestHashTreeVerifyRoundTrip(t *testing.T) {
+	ht := NewHashTree(100, 8)
+	d1 := LeafDigest([]byte("block 7 v1"))
+	ht.SetLeaf(7, d1)
+	if !ht.Verify(7, d1) {
+		t.Fatal("fresh leaf must verify")
+	}
+	if ht.Verify(7, LeafDigest([]byte("block 7 v0"))) {
+		t.Fatal("stale digest must fail (replay)")
+	}
+	if ht.Verify(8, d1) {
+		t.Fatal("wrong leaf index must fail")
+	}
+}
+
+func TestHashTreeUpdateChangesRoot(t *testing.T) {
+	ht := NewHashTree(64, 8)
+	r0 := ht.Root()
+	ht.SetLeaf(0, LeafDigest([]byte("a")))
+	r1 := ht.Root()
+	if r0 == r1 {
+		t.Fatal("root must change after a leaf update")
+	}
+	ht.SetLeaf(0, LeafDigest([]byte("b")))
+	if ht.Root() == r1 {
+		t.Fatal("root must change after second update")
+	}
+}
+
+func TestHashTreeDetectsInteriorTampering(t *testing.T) {
+	ht := NewHashTree(4096, 8)
+	d := LeafDigest([]byte("counter block"))
+	ht.SetLeaf(1000, d)
+	if !ht.Verify(1000, d) {
+		t.Fatal("setup")
+	}
+	// Attacker rewrites the level-1 ancestor in DRAM.
+	ht.CorruptNode(1, 1000/8, LeafDigest([]byte("evil")))
+	if ht.Verify(1000, d) {
+		t.Fatal("interior tampering must be detected")
+	}
+}
+
+func TestHashTreeDetectsLeafReplay(t *testing.T) {
+	ht := NewHashTree(512, 8)
+	old := LeafDigest([]byte("ctr=5"))
+	ht.SetLeaf(9, old)
+	ht.SetLeaf(9, LeafDigest([]byte("ctr=6")))
+	// Attacker rolls the stored leaf back to the old digest.
+	ht.CorruptNode(0, 9, old)
+	if ht.Verify(9, old) {
+		t.Fatal("replayed counter must fail verification against the root")
+	}
+}
+
+func TestHashTreeIndependentLeaves(t *testing.T) {
+	ht := NewHashTree(256, 8)
+	dA := LeafDigest([]byte("A"))
+	dB := LeafDigest([]byte("B"))
+	ht.SetLeaf(3, dA)
+	ht.SetLeaf(200, dB)
+	if !ht.Verify(3, dA) || !ht.Verify(200, dB) {
+		t.Fatal("both leaves must verify after independent updates")
+	}
+}
+
+func TestHashTreeSingleLeaf(t *testing.T) {
+	ht := NewHashTree(1, 8)
+	d := LeafDigest([]byte("only"))
+	ht.SetLeaf(0, d)
+	if !ht.Verify(0, d) {
+		t.Fatal("single-leaf verify")
+	}
+	if ht.Verify(0, LeafDigest([]byte("other"))) {
+		t.Fatal("single-leaf reject")
+	}
+	if ht.Depth() != 0 {
+		t.Fatal("single-leaf depth must be 0")
+	}
+}
+
+func TestHashTreeOutOfRange(t *testing.T) {
+	ht := NewHashTree(10, 8)
+	if ht.Verify(10, Digest{}) {
+		t.Fatal("out-of-range leaf must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLeaf out of range must panic")
+		}
+	}()
+	ht.SetLeaf(10, Digest{})
+}
+
+func TestHashTreePropertyAnyLeafRoundTrips(t *testing.T) {
+	ht := NewHashTree(1000, 8)
+	f := func(leafRaw uint16, content []byte) bool {
+		leaf := uint64(leafRaw) % 1000
+		d := LeafDigest(content)
+		ht.SetLeaf(leaf, d)
+		return ht.Verify(leaf, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package integrity models the integrity machinery of AES-CTR secure memory:
+// the address layout of the counter region, MAC region and Merkle-tree (MT)
+// node levels used by the timing simulator, and a real hash tree
+// (HashTree) used by the functional enclave to detect tampering and replay.
+package integrity
+
+import (
+	"fmt"
+
+	"cosmos/internal/memsys"
+)
+
+// TreeLayout maps counter blocks to the DRAM addresses of their Merkle-tree
+// ancestors. Leaves are the counter blocks themselves (stored in the CTR
+// region); levels 1..top are 64-byte MT nodes, each covering Arity children;
+// the single top node is the root, held on-chip and never fetched.
+type TreeLayout struct {
+	Arity      int
+	LeafBlocks uint64
+
+	levels     []uint64      // node count per level, level 0 = leaves
+	levelBase  []memsys.Addr // DRAM base address per level (levels ≥ 1)
+	totalNodes uint64
+}
+
+// NewTreeLayout builds the layout for a tree over leafBlocks counter blocks
+// with the given arity (8 children per 64B node), placing MT nodes starting
+// at base.
+func NewTreeLayout(leafBlocks uint64, arity int, base memsys.Addr) *TreeLayout {
+	if leafBlocks == 0 || arity < 2 {
+		panic(fmt.Sprintf("integrity: invalid tree leafBlocks=%d arity=%d", leafBlocks, arity))
+	}
+	t := &TreeLayout{Arity: arity, LeafBlocks: leafBlocks}
+	t.levels = append(t.levels, leafBlocks)
+	n := leafBlocks
+	for n > 1 {
+		n = (n + uint64(arity) - 1) / uint64(arity)
+		t.levels = append(t.levels, n)
+	}
+	t.levelBase = make([]memsys.Addr, len(t.levels))
+	addr := base
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		t.levelBase[lvl] = addr
+		addr += memsys.Addr(t.levels[lvl] * memsys.LineSize)
+		t.totalNodes += t.levels[lvl]
+	}
+	return t
+}
+
+// Depth returns the number of MT levels above the leaves (including the
+// root level). A single-leaf tree has depth 0.
+func (t *TreeLayout) Depth() int { return len(t.levels) - 1 }
+
+// NodeCount returns the total number of MT nodes (all levels above leaves).
+func (t *TreeLayout) NodeCount() uint64 { return t.totalNodes }
+
+// NodeAddr returns the DRAM address of node idx at level lvl (lvl ≥ 1).
+func (t *TreeLayout) NodeAddr(lvl int, idx uint64) memsys.Addr {
+	return t.levelBase[lvl] + memsys.Addr(idx*memsys.LineSize)
+}
+
+// PathNodes returns the DRAM addresses of the MT nodes that must be fetched
+// to verify counter block leaf — its ancestors from level 1 up to, but not
+// including, the on-chip root. The result is ordered leaf-side first.
+func (t *TreeLayout) PathNodes(leaf uint64, buf []memsys.Addr) []memsys.Addr {
+	buf = buf[:0]
+	idx := leaf
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		idx /= uint64(t.Arity)
+		if t.levels[lvl] == 1 {
+			break // root: on-chip, not fetched
+		}
+		buf = append(buf, t.NodeAddr(lvl, idx))
+	}
+	return buf
+}
+
+// StorageBytes reports the DRAM footprint of all MT nodes.
+func (t *TreeLayout) StorageBytes() uint64 { return t.totalNodes * memsys.LineSize }
+
+// SecureLayout places the metadata regions for a protected memory of
+// dataBytes: counters, MACs and MT nodes live above the data region.
+type SecureLayout struct {
+	DataBytes uint64
+	CtrBase   memsys.Addr
+	MACBase   memsys.Addr
+	MTBase    memsys.Addr
+	Tree      *TreeLayout
+
+	linesPerCtrBlock uint64
+}
+
+// NewSecureLayout lays out metadata for a data region of dataBytes covered
+// by counter blocks of linesPerBlock lines each, with an arity-8 MT.
+func NewSecureLayout(dataBytes uint64, linesPerBlock int) *SecureLayout {
+	if dataBytes == 0 || linesPerBlock <= 0 {
+		panic("integrity: invalid secure layout")
+	}
+	lines := (dataBytes + memsys.LineSize - 1) / memsys.LineSize
+	ctrBlocks := (lines + uint64(linesPerBlock) - 1) / uint64(linesPerBlock)
+	macBlocks := (lines + 7) / 8 // 8 × 64-bit MACs per 64B block
+
+	l := &SecureLayout{DataBytes: dataBytes, linesPerCtrBlock: uint64(linesPerBlock)}
+	l.CtrBase = memsys.Addr(dataBytes)
+	l.MACBase = l.CtrBase + memsys.Addr(ctrBlocks*memsys.LineSize)
+	l.MTBase = l.MACBase + memsys.Addr(macBlocks*memsys.LineSize)
+	l.Tree = NewTreeLayout(ctrBlocks, 8, l.MTBase)
+	return l
+}
+
+// CtrBlockOf maps a data line to its counter-block index.
+func (l *SecureLayout) CtrBlockOf(dataLine uint64) uint64 {
+	return dataLine / l.linesPerCtrBlock
+}
+
+// CtrAddr returns the DRAM address of the counter block covering dataLine.
+func (l *SecureLayout) CtrAddr(dataLine uint64) memsys.Addr {
+	return l.CtrBase + memsys.Addr(l.CtrBlockOf(dataLine)*memsys.LineSize)
+}
+
+// MACAddr returns the DRAM address of the MAC block covering dataLine
+// (one MAC fetch authenticates 8 data lines — §5 of the paper).
+func (l *SecureLayout) MACAddr(dataLine uint64) memsys.Addr {
+	return l.MACBase + memsys.Addr((dataLine/8)*memsys.LineSize)
+}
+
+// MetadataBytes reports the total metadata footprint (counters, MACs, MT).
+func (l *SecureLayout) MetadataBytes() uint64 {
+	return uint64(l.MTBase-l.CtrBase) + l.Tree.StorageBytes()
+}

@@ -1,0 +1,126 @@
+// Package memsys defines the fundamental memory-system vocabulary shared by
+// every other package in this repository: physical addresses, cache-line
+// geometry, memory accesses, and address-space layout helpers used by the
+// workload generators to emit realistic virtual address streams.
+package memsys
+
+import "fmt"
+
+// Cache-line geometry. The entire simulator works in units of 64-byte lines,
+// matching the paper's configuration (Table 3).
+const (
+	LineSize       = 64
+	LineOffsetBits = 6
+	PageSize       = 4096
+	PageOffsetBits = 12
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Line returns the cache-line index of the address (addr / 64).
+func (a Addr) Line() uint64 { return uint64(a) >> LineOffsetBits }
+
+// LineAddr returns the address rounded down to its cache-line boundary.
+func (a Addr) LineAddr() Addr { return a &^ (LineSize - 1) }
+
+// Page returns the 4KB page number of the address.
+func (a Addr) Page() uint64 { return uint64(a) >> PageOffsetBits }
+
+// LineToAddr converts a cache-line index back to a byte address.
+func LineToAddr(line uint64) Addr { return Addr(line << LineOffsetBits) }
+
+// AccessType distinguishes loads from stores.
+type AccessType uint8
+
+const (
+	Read AccessType = iota
+	Write
+)
+
+func (t AccessType) String() string {
+	if t == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Access is one memory reference emitted by a workload: the address touched,
+// whether it is a load or a store, the logical thread that issued it, and a
+// region tag that plays the role of the program counter for PC-indexed
+// structures (stride prefetcher, SHiP signatures). Workload generators tag
+// each distinct data structure / code site with a distinct Region.
+//
+// Dep marks serialising loads — the next instruction needs this value
+// before it can compute its own address (pointer chasing). The timing model
+// denies such loads memory-level parallelism.
+type Access struct {
+	Addr   Addr
+	Type   AccessType
+	Thread uint8
+	Region uint16
+	Dep    bool
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("%s t%d r%d 0x%x", a.Type, a.Thread, a.Region, uint64(a.Addr))
+}
+
+// Layout hands out non-overlapping address regions, so that a workload can
+// place its arrays in a synthetic physical address space the way a real
+// allocator would. Regions are page-aligned and separated by a guard page to
+// keep distinct structures in distinct counter blocks.
+type Layout struct {
+	next Addr
+}
+
+// NewLayout starts allocating at base (rounded up to a page).
+func NewLayout(base Addr) *Layout {
+	return &Layout{next: roundUpPage(base)}
+}
+
+func roundUpPage(a Addr) Addr {
+	return (a + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Region is a contiguous span of the synthetic address space backing one
+// logical array.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+	Elem uint64 // element size in bytes
+}
+
+// Alloc reserves size bytes for an array of elem-byte elements.
+func (l *Layout) Alloc(name string, count, elem uint64) Region {
+	r := Region{Name: name, Base: l.next, Size: count * elem, Elem: elem}
+	l.next = roundUpPage(l.next+Addr(r.Size)) + PageSize // guard page
+	return r
+}
+
+// End reports the first address past everything allocated so far.
+func (l *Layout) End() Addr { return l.next }
+
+// At returns the address of element i.
+func (r Region) At(i uint64) Addr { return r.Base + Addr(i*r.Elem) }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && uint64(a-r.Base) < r.Size
+}
+
+// Footprint helpers -----------------------------------------------------------
+
+// Bytes pretty-prints a byte count using binary units.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

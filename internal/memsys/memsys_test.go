@@ -1,0 +1,94 @@
+package memsys
+
+import "testing"
+
+func TestAddrLineAndPage(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line uint64
+		page uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 0},
+		{64, 1, 0},
+		{4095, 63, 0},
+		{4096, 64, 1},
+		{0xdeadbeef, 0xdeadbeef >> 6, 0xdeadbeef >> 12},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Line(%#x) = %d, want %d", uint64(c.addr), got, c.line)
+		}
+		if got := c.addr.Page(); got != c.page {
+			t.Errorf("Page(%#x) = %d, want %d", uint64(c.addr), got, c.page)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	for _, a := range []Addr{0, 1, 63, 64, 65, 1 << 20, 1<<20 + 33} {
+		la := a.LineAddr()
+		if la%LineSize != 0 {
+			t.Fatalf("LineAddr(%d) = %d not line aligned", a, la)
+		}
+		if la > a || a-la >= LineSize {
+			t.Fatalf("LineAddr(%d) = %d out of range", a, la)
+		}
+		if LineToAddr(a.Line()) != la {
+			t.Fatalf("LineToAddr(Line(%d)) != LineAddr", a)
+		}
+	}
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	l := NewLayout(1 << 30)
+	a := l.Alloc("a", 1000, 8)
+	b := l.Alloc("b", 5, 4)
+	c := l.Alloc("c", 1, 1)
+	regs := []Region{a, b, c}
+	for i := range regs {
+		if regs[i].Base%PageSize != 0 {
+			t.Errorf("region %s base not page aligned", regs[i].Name)
+		}
+		for j := i + 1; j < len(regs); j++ {
+			lo, hi := regs[i], regs[j]
+			if lo.Base+Addr(lo.Size) > hi.Base {
+				t.Errorf("regions %s and %s overlap", lo.Name, hi.Name)
+			}
+		}
+	}
+	if !a.Contains(a.At(999)) {
+		t.Error("At(last) should be inside region")
+	}
+	if a.Contains(a.Base + Addr(a.Size)) {
+		t.Error("one-past-end should be outside region")
+	}
+	if a.At(1)-a.At(0) != 8 {
+		t.Error("element stride wrong")
+	}
+}
+
+func TestBytesFormatting(t *testing.T) {
+	cases := map[uint64]string{
+		512:       "512B",
+		2048:      "2.0KiB",
+		1 << 20:   "1.0MiB",
+		3 << 30:   "3.0GiB",
+		147 << 10: "147.0KiB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{Addr: 0x40, Type: Write, Thread: 2, Region: 7}
+	if got := a.String(); got != "W t2 r7 0x40" {
+		t.Errorf("Access.String() = %q", got)
+	}
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("AccessType.String wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package prefetch
+
+import "testing"
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine()
+	for _, line := range []uint64{0, 7, 1000} {
+		got := p.OnAccess(line, 0)
+		if len(got) != 1 || got[0] != line+1 {
+			t.Fatalf("OnAccess(%d) = %v, want [%d]", line, got, line+1)
+		}
+	}
+}
+
+func TestStrideLearnsConstantStride(t *testing.T) {
+	p := NewStride(1)
+	var issued []uint64
+	for i := uint64(0); i < 10; i++ {
+		issued = p.OnAccess(100+i*4, 1)
+	}
+	if len(issued) != 1 || issued[0] != 100+9*4+4 {
+		t.Fatalf("stride prefetch = %v, want [%d]", issued, 100+10*4)
+	}
+}
+
+func TestStrideNeedsConfidence(t *testing.T) {
+	p := NewStride(1)
+	if got := p.OnAccess(10, 1); got != nil {
+		t.Fatal("first access must not prefetch")
+	}
+	if got := p.OnAccess(14, 1); got != nil {
+		t.Fatal("single stride observation must not prefetch")
+	}
+}
+
+func TestStrideResetsOnChange(t *testing.T) {
+	p := NewStride(1)
+	for i := uint64(0); i < 5; i++ {
+		p.OnAccess(i*2, 1)
+	}
+	// Break the pattern: confidence must reset.
+	if got := p.OnAccess(1000, 1); got != nil {
+		t.Fatalf("prefetch after stride break: %v", got)
+	}
+	if got := p.OnAccess(1007, 1); got != nil {
+		t.Fatalf("prefetch after one new stride: %v", got)
+	}
+}
+
+func TestStridePerSignatureIsolation(t *testing.T) {
+	p := NewStride(1)
+	for i := uint64(0); i < 6; i++ {
+		p.OnAccess(i*3, 1)   // stream A, stride 3
+		p.OnAccess(i*5+1, 2) // stream B, stride 5
+	}
+	a := p.OnAccess(18, 1)
+	if len(a) != 1 || a[0] != 21 {
+		t.Fatalf("stream A prefetch = %v, want [21]", a)
+	}
+	b := p.OnAccess(31, 2)
+	if len(b) != 1 || b[0] != 36 {
+		t.Fatalf("stream B prefetch = %v, want [36]", b)
+	}
+}
+
+func TestStrideDegree(t *testing.T) {
+	p := NewStride(3)
+	var got []uint64
+	for i := uint64(0); i < 8; i++ {
+		got = p.OnAccess(i*2, 0)
+	}
+	want := []uint64{16, 18, 20}
+	if len(got) != 3 {
+		t.Fatalf("degree-3 issued %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degree-3 issued %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBertiLearnsDominantDelta(t *testing.T) {
+	p := NewBerti()
+	var got []uint64
+	for i := uint64(0); i < 30; i++ {
+		got = p.OnAccess(i*7, 3)
+	}
+	if len(got) != 1 || got[0] != 29*7+7 {
+		t.Fatalf("berti = %v, want [%d]", got, 30*7)
+	}
+}
+
+func TestBertiSilentOnRandom(t *testing.T) {
+	p := NewBerti()
+	// Deltas far outside ±64 lines never train; Berti should stay quiet.
+	state := uint64(99)
+	issued := 0
+	for i := 0; i < 500; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if p.OnAccess(state%(1<<30), 1) != nil {
+			issued++
+		}
+	}
+	if issued > 50 {
+		t.Errorf("berti issued %d prefetches on a random stream", issued)
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	p := NewNone()
+	if p.OnAccess(1, 0) != nil {
+		t.Fatal("None must never prefetch")
+	}
+	if p.Name() != "None" {
+		t.Fatal("name")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var s Stats
+	if s.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	s = Stats{Issued: 200, Useful: 11}
+	if acc := s.Accuracy(); acc != 0.055 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,49 @@
+package rl
+
+// Agent couples a Q-table with ε-greedy action selection and a fixed
+// (α, γ, ε) hyper-parameter triple. Both COSMOS predictors are Agents over a
+// two-action space.
+type Agent struct {
+	Table   *QTable
+	Alpha   float64
+	Gamma   float64
+	Epsilon float64
+
+	rng *Rand
+
+	// Explorations counts how many actions were chosen randomly rather
+	// than greedily — exposed for the effectiveness studies (§6.1.2).
+	Explorations uint64
+	Decisions    uint64
+}
+
+// NewAgent constructs an agent with its own deterministic exploration stream.
+func NewAgent(table *QTable, alpha, gamma, epsilon float64, seed uint64) *Agent {
+	return &Agent{Table: table, Alpha: alpha, Gamma: gamma, Epsilon: epsilon, rng: NewRand(seed)}
+}
+
+// Act returns the ε-greedy action for state s: with probability ε a uniform
+// random action (exploration), otherwise the argmax of the Q-row.
+func (ag *Agent) Act(s int) int {
+	ag.Decisions++
+	if ag.Epsilon > 0 && ag.rng.Float64() < ag.Epsilon {
+		ag.Explorations++
+		return ag.rng.Intn(ag.Table.Actions())
+	}
+	a, _ := ag.Table.Best(s)
+	return a
+}
+
+// Learn applies the TD update with the agent's α and γ. next is the
+// bootstrap value from the successor state (see QTable.Update).
+func (ag *Agent) Learn(s, a int, reward, next float64) {
+	ag.Table.Update(s, a, reward, next, ag.Alpha, ag.Gamma)
+}
+
+// ExplorationRate reports the observed fraction of random actions.
+func (ag *Agent) ExplorationRate() float64 {
+	if ag.Decisions == 0 {
+		return 0
+	}
+	return float64(ag.Explorations) / float64(ag.Decisions)
+}

@@ -1,0 +1,50 @@
+// Package rl provides the tabular reinforcement-learning primitives used by
+// COSMOS's two predictors: a splitmix64-based state hash over physical
+// addresses, Q-tables (floating point and hardware-faithful 8-bit fixed
+// point), ε-greedy action selection, and the temporal-difference update rules
+// from Algorithms 1 and 3 of the paper.
+package rl
+
+// SplitMix64 is the splitmix64 mixing function (Vigna, 2017). The paper uses
+// a variant of it with prime multipliers to hash physical-address bits 6..47
+// into a uniform state index.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashState maps a physical address to a state index in [0, numStates).
+// Bits 6..47 of the address (the cache-line number within a 256TB space) feed
+// the hash, per §4.1.1 of the paper; numStates must be a power of two.
+func HashState(addr uint64, numStates int) int {
+	lineBits := (addr >> 6) & ((1 << 42) - 1)
+	return int(SplitMix64(lineBits) & uint64(numStates-1))
+}
+
+// Rand is a small deterministic PRNG (splitmix64 stream) used for ε-greedy
+// exploration so that simulations are exactly reproducible.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a new deterministic generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}

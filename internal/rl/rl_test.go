@@ -1,0 +1,258 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values computed from the canonical splitmix64 algorithm.
+	if SplitMix64(0) == 0 {
+		t.Error("SplitMix64(0) should not be 0")
+	}
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Error("distinct inputs should not collide trivially")
+	}
+	// Determinism.
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Error("SplitMix64 must be deterministic")
+	}
+}
+
+func TestHashStateRange(t *testing.T) {
+	f := func(addr uint64) bool {
+		s := HashState(addr, 16384)
+		return s >= 0 && s < 16384
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashStateUsesLineBitsOnly(t *testing.T) {
+	// Two addresses in the same 64B line must map to the same state.
+	a, b := uint64(0x12345678), uint64(0x12345678)|0x3f
+	if HashState(a, 1024) != HashState(b&^63|a&^63|63, 1024) {
+		// construct same line, different offset
+	}
+	if HashState(0x1000, 1024) != HashState(0x1001, 1024) {
+		t.Error("offset bits must not affect state")
+	}
+	if HashState(0x1000, 1024) != HashState(0x103f, 1024) {
+		t.Error("offset bits must not affect state")
+	}
+}
+
+func TestHashStateDistribution(t *testing.T) {
+	// Sequential lines should spread roughly uniformly over states.
+	const states = 256
+	counts := make([]int, states)
+	const n = states * 200
+	for i := 0; i < n; i++ {
+		counts[HashState(uint64(i)*64, states)]++
+	}
+	mean := float64(n) / states
+	for s, c := range counts {
+		if float64(c) < mean*0.5 || float64(c) > mean*1.5 {
+			t.Fatalf("state %d count %d far from mean %.1f — poor hash spread", s, c, mean)
+		}
+	}
+}
+
+func TestQTableUpdateConverges(t *testing.T) {
+	tb := NewQTable(4, 2)
+	// Repeatedly reward action 1 in state 0; its Q-value should dominate.
+	for i := 0; i < 500; i++ {
+		tb.Update(0, 1, 10, 0, 0.1, 0)
+		tb.Update(0, 0, -10, 0, 0.1, 0)
+	}
+	a, q := tb.Best(0)
+	if a != 1 {
+		t.Fatalf("Best action = %d, want 1 (q=%v)", a, q)
+	}
+	if math.Abs(tb.Q(0, 1)-10) > 0.01 {
+		t.Errorf("Q(0,1) = %v, want ≈10", tb.Q(0, 1))
+	}
+	if math.Abs(tb.Q(0, 0)+10) > 0.01 {
+		t.Errorf("Q(0,0) = %v, want ≈-10", tb.Q(0, 0))
+	}
+}
+
+func TestQTableClamp(t *testing.T) {
+	tb := NewQTable(2, 2)
+	for i := 0; i < 10000; i++ {
+		tb.Update(0, 0, 100, 127, 0.5, 1)
+	}
+	if tb.Q(0, 0) > QClamp {
+		t.Errorf("Q exceeded clamp: %v", tb.Q(0, 0))
+	}
+	for i := 0; i < 10000; i++ {
+		tb.Update(0, 1, -100, -127, 0.5, 1)
+	}
+	if tb.Q(0, 1) < -QClamp {
+		t.Errorf("Q below clamp: %v", tb.Q(0, 1))
+	}
+}
+
+func TestQTableDiscountedBootstrap(t *testing.T) {
+	tb := NewQTable(2, 2)
+	// One update with α=1: Q = r + γ·next exactly.
+	tb.Update(1, 0, 5, 10, 1.0, 0.5)
+	if got := tb.Q(1, 0); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Q = %v, want 10 (5 + 0.5·10)", got)
+	}
+}
+
+func TestQuantizeAndScore(t *testing.T) {
+	tb := NewQTable(2, 2)
+	tb.SetQ(0, 0, 3.7)
+	if tb.Quantize(0, 0) != 3 {
+		t.Errorf("Quantize(3.7) = %d, want 3", tb.Quantize(0, 0))
+	}
+	tb.SetQ(0, 1, -200)
+	if tb.Quantize(0, 1) != -128 {
+		t.Errorf("Quantize(-200) = %d, want -128", tb.Quantize(0, 1))
+	}
+	tb.SetQ(1, 0, 500)
+	if tb.Quantize(1, 0) != 127 {
+		t.Errorf("Quantize(500) = %d, want 127", tb.Quantize(1, 0))
+	}
+	if tb.Score(1, 0) != 255 {
+		t.Errorf("Score(max) = %d, want 255", tb.Score(1, 0))
+	}
+	if tb.Score(0, 1) != 0 {
+		t.Errorf("Score(min) = %d, want 0", tb.Score(0, 1))
+	}
+}
+
+func TestQTableStorageBits(t *testing.T) {
+	tb := NewQTable(16384, 2)
+	// Table 2: 16384 entries × 16 bits = 32KB.
+	if got := tb.StorageBits() / 8 / 1024; got != 32 {
+		t.Errorf("storage = %dKB, want 32KB", got)
+	}
+}
+
+func TestNewQTablePanics(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQTable(%d, 2) should panic", bad)
+				}
+			}()
+			NewQTable(bad, 2)
+		}()
+	}
+}
+
+func TestAgentEpsilonGreedy(t *testing.T) {
+	tb := NewQTable(2, 2)
+	tb.SetQ(0, 1, 50) // greedy action is 1
+	ag := NewAgent(tb, 0.1, 0.9, 0.0, 1)
+	for i := 0; i < 100; i++ {
+		if ag.Act(0) != 1 {
+			t.Fatal("ε=0 agent must always act greedily")
+		}
+	}
+	if ag.ExplorationRate() != 0 {
+		t.Error("ε=0 agent should never explore")
+	}
+
+	agExplore := NewAgent(tb, 0.1, 0.9, 1.0, 2)
+	zeros := 0
+	for i := 0; i < 1000; i++ {
+		if agExplore.Act(0) == 0 {
+			zeros++
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("ε=1 agent picked action 0 %d/1000 times, want ≈500", zeros)
+	}
+	if agExplore.ExplorationRate() != 1 {
+		t.Error("ε=1 agent should always explore")
+	}
+}
+
+func TestAgentExplorationRateMatchesEpsilon(t *testing.T) {
+	tb := NewQTable(2, 2)
+	ag := NewAgent(tb, 0.1, 0.9, 0.1, 3)
+	for i := 0; i < 20000; i++ {
+		ag.Act(0)
+	}
+	r := ag.ExplorationRate()
+	if r < 0.08 || r > 0.12 {
+		t.Errorf("exploration rate %v, want ≈0.1", r)
+	}
+}
+
+func TestAgentLearnsBinaryTask(t *testing.T) {
+	// States 0..63: even states reward action 0, odd states reward action 1.
+	tb := NewQTable(64, 2)
+	ag := NewAgent(tb, 0.2, 0.0, 0.1, 7)
+	rng := NewRand(99)
+	for i := 0; i < 50000; i++ {
+		s := rng.Intn(64)
+		a := ag.Act(s)
+		want := s & 1
+		r := -10.0
+		if a == want {
+			r = 10
+		}
+		ag.Learn(s, a, r, 0)
+	}
+	correct := 0
+	for s := 0; s < 64; s++ {
+		a, _ := tb.Best(s)
+		if a == s&1 {
+			correct++
+		}
+	}
+	if correct < 62 {
+		t.Errorf("agent learned %d/64 states, want ≥62", correct)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams must match")
+		}
+	}
+	f := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := f.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		n := f.Intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestQTablePropertyMonotoneTowardTarget(t *testing.T) {
+	// Property: a single update moves Q(s,a) strictly toward r + γ·next.
+	f := func(r8 int8, next8 int8, q8 int8) bool {
+		tb := NewQTable(2, 2)
+		r, next, q0 := float64(r8), float64(next8)/2, float64(q8)
+		tb.SetQ(0, 0, q0)
+		target := r + 0.5*next
+		if target > QClamp {
+			target = QClamp
+		} else if target < -QClamp {
+			target = -QClamp
+		}
+		tb.Update(0, 0, r, next, 0.3, 0.5)
+		q1 := tb.Q(0, 0)
+		d0 := math.Abs(target - q0)
+		d1 := math.Abs(target - q1)
+		return d1 <= d0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,467 @@
+// Package sim is the multi-core system simulator: per-core L1 and L2
+// caches, a shared LLC, and the secure memory controller (internal/secmem),
+// driven by workload access streams. It accounts per-thread cycles with a
+// simple out-of-order overlap model and produces the metrics every paper
+// figure is built from: IPC, cache miss rates, CTR cache behaviour, DRAM
+// traffic decomposition and SMAT (Eq 1-2).
+package sim
+
+import (
+	"cosmos/internal/cache"
+	"cosmos/internal/core"
+	"cosmos/internal/dram"
+	"cosmos/internal/memsys"
+	"cosmos/internal/prefetch"
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+)
+
+// Config is the Table 3 machine.
+type Config struct {
+	Cores int
+
+	L1Bytes, L1Ways   int
+	L2Bytes, L2Ways   int
+	LLCBytes, LLCWays int
+	L1Lat, L2Lat      uint64
+	LLCLat            uint64
+
+	// NonMemCycles is the compute time each access group carries (the
+	// non-memory instructions between memory references).
+	NonMemCycles uint64
+	// InstrPerAccess converts accesses to instructions for IPC.
+	InstrPerAccess uint64
+	// MLP divides off-chip stall time, modelling OoO overlap of misses.
+	MLP uint64
+
+	MC secmem.Config
+}
+
+// DefaultConfig returns the paper's 4-core setup (Table 3).
+func DefaultConfig() Config {
+	return Config{
+		Cores:          4,
+		L1Bytes:        32 << 10,
+		L1Ways:         2,
+		L2Bytes:        1 << 20,
+		L2Ways:         8,
+		LLCBytes:       8 << 20,
+		LLCWays:        16,
+		L1Lat:          2,
+		L2Lat:          20,
+		LLCLat:         128,
+		NonMemCycles:   4,
+		InstrPerAccess: 4,
+		MLP:            4,
+		MC:             secmem.DefaultConfig(),
+	}
+}
+
+// EightCore scales the default to the Fig 15 8-core / 16MB-LLC machine.
+func EightCore() Config {
+	c := DefaultConfig()
+	c.Cores = 8
+	c.LLCBytes = 16 << 20
+	c.MC.Cores = 8
+	return c
+}
+
+type levelStats struct {
+	accesses uint64
+	misses   uint64
+}
+
+func (l levelStats) missRate() float64 {
+	if l.accesses == 0 {
+		return 0
+	}
+	return float64(l.misses) / float64(l.accesses)
+}
+
+// System is one simulated machine instance.
+type System struct {
+	cfg    Config
+	design secmem.Design
+
+	l1s []*cache.Cache
+	l2s []*cache.Cache
+	llc *cache.Cache
+	mc  *secmem.Engine
+
+	threadCycles []uint64
+	demand       [3]levelStats // L1, L2, LLC
+
+	accesses     uint64
+	reads        uint64
+	writes       uint64
+	offChipReads uint64
+	fetchLatSum  uint64
+	bypassed     uint64 // accesses that skipped the L2/LLC walk latency
+}
+
+// New builds a system for the given design point.
+func New(cfg Config, design secmem.Design) *System {
+	cfg.MC.Cores = cfg.Cores
+	s := &System{cfg: cfg, design: design}
+	for c := 0; c < cfg.Cores; c++ {
+		s.l1s = append(s.l1s, cache.New("l1", cfg.L1Bytes, cfg.L1Ways, cache.NewLRU()))
+		s.l2s = append(s.l2s, cache.New("l2", cfg.L2Bytes, cfg.L2Ways, cache.NewLRU()))
+	}
+	s.llc = cache.New("llc", cfg.LLCBytes, cfg.LLCWays, cache.NewLRU())
+	s.mc = secmem.NewEngine(cfg.MC, design)
+	s.threadCycles = make([]uint64, cfg.Cores)
+	return s
+}
+
+// MC exposes the memory controller (for experiment harnesses).
+func (s *System) MC() *secmem.Engine { return s.mc }
+
+const sigWB uint16 = 59999
+
+// wbToL2 installs a dirty line evicted from L1 into L2, cascading evictions
+// down the hierarchy. Writebacks do not fetch from DRAM.
+func (s *System) wbToL2(c int, now uint64, line uint64) {
+	r := s.l2s[c].Access(line, true, sigWB)
+	if r.Evicted && r.EvictedDirty {
+		s.wbToLLC(c, now, r.EvictedLine)
+	}
+}
+
+func (s *System) wbToLLC(c int, now uint64, line uint64) {
+	r := s.llc.Access(line, true, sigWB)
+	if r.Evicted && r.EvictedDirty {
+		s.wbToDRAM(c, now, r.EvictedLine)
+	}
+}
+
+// wbToDRAM writes a line back to memory: the data write, the counter
+// increment (with possible re-encryption) and the MAC update.
+func (s *System) wbToDRAM(c int, now uint64, line uint64) {
+	addr := memsys.LineToAddr(line)
+	s.mc.DataDRAM(now, addr, true)
+	if s.design.Secure && s.mc.InSecureRegion(addr) {
+		s.mc.CtrAccess(c, now, line, true)
+		s.mc.MACAccess(c, now, line, true)
+	}
+}
+
+// Step processes one access and returns its critical-path latency.
+func (s *System) Step(a memsys.Access) uint64 {
+	c := int(a.Thread) % s.cfg.Cores
+	now := s.threadCycles[c]
+	write := a.Type == memsys.Write
+	line := a.Addr.Line()
+
+	s.accesses++
+	if write {
+		s.writes++
+	} else {
+		s.reads++
+	}
+
+	// L1
+	s.demand[0].accesses++
+	r1 := s.l1s[c].Access(line, write, a.Region)
+	if r1.Evicted && r1.EvictedDirty {
+		s.wbToL2(c, now, r1.EvictedLine)
+	}
+	if r1.Hit {
+		lat := s.cfg.L1Lat
+		s.advance(c, write, a.Dep, lat)
+		return lat
+	}
+	s.demand[0].misses++
+
+	// L1 miss: early CTR access / data location prediction. Accesses
+	// outside a bounded secure region (SGXv1-style EPC) take the
+	// non-protected path.
+	secure := s.design.Secure && s.mc.InSecureRegion(a.Addr)
+	var pred core.Prediction
+	predictedOff := false
+	earlyCtr := false
+	var ctrRes secmem.CtrResult
+	switch s.design.Early {
+	case secmem.EarlyPredicted:
+		pred = s.mc.DataPred.Predict(uint64(a.Addr))
+		predictedOff = pred.OffChip
+		if predictedOff && secure {
+			ctrRes = s.mc.CtrAccess(c, now, line, false)
+			earlyCtr = true
+		}
+	case secmem.EarlyAll:
+		if secure {
+			ctrRes = s.mc.CtrAccess(c, now, line, false)
+			earlyCtr = true
+		}
+	}
+
+	// L2
+	s.demand[1].accesses++
+	r2 := s.l2s[c].Access(line, false, a.Region)
+	if r2.Evicted && r2.EvictedDirty {
+		s.wbToLLC(c, now, r2.EvictedLine)
+	}
+	if r2.Hit {
+		if s.design.Early == secmem.EarlyPredicted {
+			s.mc.DataPred.Learn(pred, false)
+			if predictedOff && !write {
+				s.mc.WastedFetch(now, a.Addr)
+			}
+		}
+		lat := s.cfg.L1Lat + s.cfg.L2Lat
+		s.advance(c, write, a.Dep, lat)
+		return lat
+	}
+	s.demand[1].misses++
+
+	// LLC
+	s.demand[2].accesses++
+	r3 := s.llc.Access(line, false, a.Region)
+	if r3.Evicted && r3.EvictedDirty {
+		s.wbToDRAM(c, now, r3.EvictedLine)
+	}
+	if r3.Hit {
+		if s.design.Early == secmem.EarlyPredicted {
+			s.mc.DataPred.Learn(pred, false)
+			if predictedOff {
+				s.mc.WastedFetch(now, a.Addr)
+			}
+		}
+		lat := s.cfg.L1Lat + s.cfg.L2Lat + s.cfg.LLCLat
+		s.advance(c, write, a.Dep, lat)
+		return lat
+	}
+	s.demand[2].misses++
+
+	// Off-chip. All timing below is measured from t0 = the L1-miss
+	// point. Three event chains race:
+	//
+	//   data:  the DRAM read. Memory controllers issue it speculatively
+	//          in parallel with the LLC tag lookup (it starts after the
+	//          L2 miss for normal walks, right at t0 for predicted-off
+	//          bypasses — gated by the concurrent walk's confirmation).
+	//   ctr:   the counter pipeline + OTP generation (AES). It starts
+	//          at t0 for early designs (EMCC, predicted-off COSMOS) and
+	//          only after the LLC miss is detected for the baseline —
+	//          that serialisation is exactly what COSMOS removes.
+	//   walk:  the L2+LLC lookups, which must confirm the miss before
+	//          any speculative data can retire.
+	if s.design.Early == secmem.EarlyPredicted {
+		s.mc.DataPred.Learn(pred, true)
+	}
+	walkLat := s.cfg.L2Lat + s.cfg.LLCLat
+	if !earlyCtr && secure {
+		ctrRes = s.mc.CtrAccess(c, now, line, false)
+	}
+
+	dataLat := s.mc.DataDRAM(now, a.Addr, false)
+	var ctrReady uint64
+	if secure {
+		s.mc.MACAccess(c, now, line, false)
+		otp := ctrRes.Latency + s.cfg.MC.AESLat
+		if earlyCtr {
+			ctrReady = otp // counter pipeline started at t0
+		} else {
+			ctrReady = walkLat + otp // serialised behind the walk
+		}
+	}
+
+	var dataReady uint64
+	if predictedOff {
+		// Speculative fetch issued at t0; usable once the walk
+		// confirms the miss.
+		dataReady = max64(walkLat, dataLat)
+		s.bypassed++
+	} else {
+		// Without a prediction the DRAM read cannot issue before the
+		// LLC reports the miss (gem5-classic serialisation).
+		dataReady = walkLat + dataLat
+	}
+
+	fetchEnd := max64(dataReady, ctrReady)
+	if secure {
+		fetchEnd++ // final OTP XOR
+	}
+	lat := s.cfg.L1Lat + fetchEnd
+	s.offChipReads++
+	s.fetchLatSum += fetchEnd
+
+	s.advance(c, write, a.Dep, lat)
+	return lat
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// advance applies the cycle cost of one access group to its thread: compute
+// cycles plus the memory stall, with off-chip stalls divided by the MLP
+// overlap factor. Dependent loads (pointer chasing) get no overlap; writes
+// retire through the store buffer (L1 latency only).
+func (s *System) advance(c int, write, dep bool, lat uint64) {
+	stall := lat
+	switch {
+	case write:
+		stall = s.cfg.L1Lat
+	case dep:
+		// serialising load: the full latency lands on the thread
+	case lat > s.cfg.L1Lat:
+		stall = s.cfg.L1Lat + (lat-s.cfg.L1Lat)/s.cfg.MLP
+	}
+	s.threadCycles[c] += s.cfg.NonMemCycles + stall
+}
+
+// Warmup drives the system for n accesses and then clears every
+// measurement, keeping all learned state: cache contents, Q-tables, CET.
+// Use it to measure steady-state behaviour without the cold-start
+// transient.
+func (s *System) Warmup(gen trace.Generator, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Step(a)
+	}
+	s.ResetStats()
+}
+
+// ResetStats zeroes measurements (not learned state); see Warmup.
+func (s *System) ResetStats() {
+	s.demand = [3]levelStats{}
+	s.accesses, s.reads, s.writes = 0, 0, 0
+	s.offChipReads, s.fetchLatSum, s.bypassed = 0, 0, 0
+	for i := range s.threadCycles {
+		s.threadCycles[i] = 0
+	}
+	for _, c := range s.l1s {
+		c.Stats = cache.Stats{}
+	}
+	for _, c := range s.l2s {
+		c.Stats = cache.Stats{}
+	}
+	s.llc.Stats = cache.Stats{}
+	s.mc.ResetStats()
+}
+
+// Run drives the system from a generator for at most maxAccesses.
+func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
+	defer trace.CloseIfCloser(gen)
+	for s.accesses < maxAccesses {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Step(a)
+	}
+	return s.Results(gen.Name())
+}
+
+// Results snapshots every metric the experiment harness consumes.
+type Results struct {
+	Design   string
+	Workload string
+
+	Accesses     uint64
+	Reads        uint64
+	Writes       uint64
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	L1MissRate  float64
+	L2MissRate  float64
+	LLCMissRate float64
+
+	CtrAccesses  uint64
+	CtrMissRate  float64
+	OffChipReads uint64
+	Bypassed     uint64
+
+	Traffic secmem.Traffic
+	DRAM    dram.Stats
+
+	DataPred *core.DataStats
+	CtrPred  *core.CtrStats
+	Prefetch prefetch.Stats
+
+	SMAT float64
+}
+
+// Results computes the final metrics.
+func (s *System) Results(workload string) Results {
+	var maxCycles uint64
+	for _, cyc := range s.threadCycles {
+		if cyc > maxCycles {
+			maxCycles = cyc
+		}
+	}
+	res := Results{
+		Design:       s.design.Name,
+		Workload:     workload,
+		Accesses:     s.accesses,
+		Reads:        s.reads,
+		Writes:       s.writes,
+		Instructions: s.accesses * s.cfg.InstrPerAccess,
+		Cycles:       maxCycles,
+		L1MissRate:   s.demand[0].missRate(),
+		L2MissRate:   s.demand[1].missRate(),
+		LLCMissRate:  s.demand[2].missRate(),
+		CtrAccesses:  s.mc.CtrHits + s.mc.CtrMisses,
+		CtrMissRate:  s.mc.CtrMissRate(),
+		OffChipReads: s.offChipReads,
+		Bypassed:     s.bypassed,
+		Traffic:      s.mc.Traffic,
+		DRAM:         s.mc.DRAMStats(),
+		Prefetch:     s.mc.PrefetchStats(),
+	}
+	if maxCycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(maxCycles)
+	}
+	if s.mc.DataPred != nil {
+		st := s.mc.DataPred.Stats
+		res.DataPred = &st
+	}
+	if s.mc.CtrPred != nil {
+		st := s.mc.CtrPred.Stats
+		res.CtrPred = &st
+	}
+	res.SMAT = s.smat()
+	return res
+}
+
+// smat evaluates Eq 1-2 with measured miss rates and the machine's
+// configured latencies; DRAM terms use the model's best-case read latency
+// plus an activation blend from the observed row-hit rate.
+func (s *System) smat() float64 {
+	cfg := s.cfg
+	d := s.mc.DRAMStats()
+	rowHit := d.RowHitRate()
+	dramLat := float64(cfg.MC.DRAM.TCAS+cfg.MC.DRAM.TBus+cfg.MC.DRAM.Queue)*rowHit +
+		float64(cfg.MC.DRAM.TRP+cfg.MC.DRAM.TRCD+cfg.MC.DRAM.TCAS+cfg.MC.DRAM.TBus+cfg.MC.DRAM.Queue)*(1-rowHit)
+
+	mrL1 := s.demand[0].missRate()
+	mrL2 := s.demand[1].missRate()
+	mrLLC := s.demand[2].missRate()
+
+	var ctrTerm float64
+	if s.design.Secure {
+		mrCtr := s.mc.CtrMissRate()
+		verify := float64(cfg.MC.AuthLat)
+		ctrTerm = float64(cfg.MC.CtrHitLat) + mrCtr*(dramLat+verify)
+		ctrTerm += float64(cfg.MC.AESLat)
+	}
+
+	// Bypass share (§6.1.3): the fraction of L1 misses that skip the
+	// L2/LLC walk entirely and go straight to the CTR cache and DRAM.
+	var b float64
+	if s.demand[0].misses > 0 {
+		b = float64(s.bypassed) / float64(s.demand[0].misses)
+	}
+	walked := float64(cfg.L2Lat) + mrL2*(float64(cfg.LLCLat)+mrLLC*(ctrTerm+dramLat))
+	direct := ctrTerm + dramLat
+	return float64(cfg.L1Lat) + mrL1*((1-b)*walked+b*direct)
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer-name", 0.12345)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Error("float not formatted to 3 decimals")
+	}
+	// Columns align: "value" starts at the same offset in every row.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "1") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Row("x", 2)
+	csv := tb.CSV()
+	if csv != "a,b\nx,2\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.256) != "25.6%" {
+		t.Errorf("Pct: %s", Pct(0.256))
+	}
+	if Ratio(1.25) != "1.250x" {
+		t.Errorf("Ratio: %s", Ratio(1.25))
+	}
+}

@@ -1,0 +1,379 @@
+// Package trace defines the access-stream abstraction that connects workload
+// generators to the simulator, plus synthetic pattern generators (sequential,
+// random, zipf, pointer-chase) and a deterministic multi-thread interleaver.
+// Workloads are streamed — traces are never materialised in memory.
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"cosmos/internal/memsys"
+	"cosmos/internal/rl"
+)
+
+// Generator produces a stream of memory accesses. Next returns ok=false when
+// the stream is exhausted. Implementations must be deterministic for a given
+// construction seed.
+type Generator interface {
+	Name() string
+	Next() (memsys.Access, bool)
+}
+
+// Closer is implemented by generators that own background resources (the
+// goroutine-backed FromFunc producer). Consumers that stop early should
+// close them.
+type Closer interface {
+	Close()
+}
+
+// CloseIfCloser shuts a generator down if it needs shutting down.
+func CloseIfCloser(g Generator) {
+	if c, ok := g.(Closer); ok {
+		c.Close()
+	}
+}
+
+// --- limiting and composition ---
+
+type limited struct {
+	g    Generator
+	left uint64
+}
+
+// Limit caps a stream at n accesses.
+func Limit(g Generator, n uint64) Generator { return &limited{g: g, left: n} }
+
+func (l *limited) Name() string { return l.g.Name() }
+
+func (l *limited) Next() (memsys.Access, bool) {
+	if l.left == 0 {
+		return memsys.Access{}, false
+	}
+	l.left--
+	a, ok := l.g.Next()
+	if !ok {
+		l.left = 0
+	}
+	return a, ok
+}
+
+func (l *limited) Close() { CloseIfCloser(l.g) }
+
+// Interleave merges per-thread streams deterministically: `chunk` accesses
+// from thread 0, then thread 1, … wrapping around, skipping exhausted
+// threads. Thread IDs are stamped onto the accesses.
+type Interleave struct {
+	name    string
+	gens    []Generator
+	chunk   int
+	cur     int
+	curLeft int
+	done    []bool
+	alive   int
+}
+
+// NewInterleave builds the merger. chunk controls the interleaving grain
+// (how many consecutive accesses one thread issues before yielding).
+func NewInterleave(name string, gens []Generator, chunk int) *Interleave {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Interleave{
+		name: name, gens: gens, chunk: chunk,
+		curLeft: chunk, done: make([]bool, len(gens)), alive: len(gens),
+	}
+}
+
+// Name implements Generator.
+func (iv *Interleave) Name() string { return iv.name }
+
+// Next implements Generator.
+func (iv *Interleave) Next() (memsys.Access, bool) {
+	for iv.alive > 0 {
+		if iv.done[iv.cur] || iv.curLeft == 0 {
+			if !iv.done[iv.cur] && iv.curLeft == 0 {
+				// yield to the next thread
+			}
+			iv.cur = (iv.cur + 1) % len(iv.gens)
+			iv.curLeft = iv.chunk
+			continue
+		}
+		a, ok := iv.gens[iv.cur].Next()
+		if !ok {
+			iv.done[iv.cur] = true
+			iv.alive--
+			continue
+		}
+		iv.curLeft--
+		a.Thread = uint8(iv.cur)
+		return a, true
+	}
+	return memsys.Access{}, false
+}
+
+// Close implements Closer.
+func (iv *Interleave) Close() {
+	for _, g := range iv.gens {
+		CloseIfCloser(g)
+	}
+}
+
+// --- goroutine-backed producer ---
+
+const producerBatch = 4096
+
+// FromFunc adapts a push-style workload (a function that calls emit for each
+// access) into a pull-style Generator. The workload runs in its own
+// goroutine; batches flow over a channel. Close cancels the producer.
+func FromFunc(name string, run func(emit func(memsys.Access))) Generator {
+	return &funcGen{name: name, run: run}
+}
+
+type funcGen struct {
+	name    string
+	run     func(emit func(memsys.Access))
+	ch      chan []memsys.Access
+	done    chan struct{}
+	started bool
+	buf     []memsys.Access
+	pos     int
+	eof     bool
+}
+
+func (f *funcGen) Name() string { return f.name }
+
+// errProducerCancelled is the sentinel panic value used to unwind a
+// workload whose consumer closed the generator early. Workloads are often
+// infinite loops, so cancellation must forcibly unwind them.
+type producerCancelled struct{}
+
+func (f *funcGen) start() {
+	f.ch = make(chan []memsys.Access, 4)
+	f.done = make(chan struct{})
+	f.started = true
+	go func() {
+		defer close(f.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(producerCancelled); !ok {
+					panic(r)
+				}
+			}
+		}()
+		batch := make([]memsys.Access, 0, producerBatch)
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			out := batch
+			batch = make([]memsys.Access, 0, producerBatch)
+			select {
+			case f.ch <- out:
+			case <-f.done:
+				panic(producerCancelled{})
+			}
+		}
+		emit := func(a memsys.Access) {
+			batch = append(batch, a)
+			if len(batch) == producerBatch {
+				flush()
+			}
+		}
+		f.run(emit)
+		flush()
+	}()
+}
+
+func (f *funcGen) Next() (memsys.Access, bool) {
+	if f.eof {
+		return memsys.Access{}, false
+	}
+	if !f.started {
+		f.start()
+	}
+	for f.pos >= len(f.buf) {
+		b, ok := <-f.ch
+		if !ok {
+			f.eof = true
+			return memsys.Access{}, false
+		}
+		f.buf, f.pos = b, 0
+	}
+	a := f.buf[f.pos]
+	f.pos++
+	return a, true
+}
+
+// Close implements Closer: it cancels the producer goroutine.
+func (f *funcGen) Close() {
+	if !f.started || f.eof {
+		return
+	}
+	close(f.done)
+	// Drain until the producer closes the channel.
+	for range f.ch {
+	}
+	f.eof = true
+}
+
+// --- synthetic generators ---
+
+// Sequential streams through a region front to back, one line at a time,
+// with the given write ratio (writeEvery = 0 means read-only; 4 means every
+// 4th access is a write).
+type Sequential struct {
+	region     memsys.Region
+	line       uint64
+	lines      uint64
+	writeEvery uint64
+	n          uint64
+	region16   uint16
+}
+
+// NewSequential builds a sequential streamer over region.
+func NewSequential(region memsys.Region, writeEvery uint64, sig uint16) *Sequential {
+	return &Sequential{region: region, lines: (region.Size + memsys.LineSize - 1) / memsys.LineSize, writeEvery: writeEvery, region16: sig}
+}
+
+// Name implements Generator.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Next implements Generator.
+func (s *Sequential) Next() (memsys.Access, bool) {
+	if s.lines == 0 {
+		return memsys.Access{}, false
+	}
+	a := memsys.Access{Addr: s.region.Base + memsys.Addr(s.line*memsys.LineSize), Type: memsys.Read, Region: s.region16}
+	s.n++
+	if s.writeEvery != 0 && s.n%s.writeEvery == 0 {
+		a.Type = memsys.Write
+	}
+	s.line = (s.line + 1) % s.lines
+	return a, true
+}
+
+// Uniform emits uniformly random lines within a region, endless.
+type Uniform struct {
+	region   memsys.Region
+	lines    uint64
+	rng      *rl.Rand
+	writePct int
+	sig      uint16
+}
+
+// NewUniform builds the random generator; writePct in [0,100].
+func NewUniform(region memsys.Region, writePct int, seed uint64, sig uint16) *Uniform {
+	return &Uniform{region: region, lines: region.Size / memsys.LineSize, rng: rl.NewRand(seed), writePct: writePct, sig: sig}
+}
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Next implements Generator.
+func (u *Uniform) Next() (memsys.Access, bool) {
+	line := u.rng.Uint64() % u.lines
+	a := memsys.Access{Addr: u.region.Base + memsys.Addr(line*memsys.LineSize), Type: memsys.Read, Region: u.sig}
+	if u.rng.Intn(100) < u.writePct {
+		a.Type = memsys.Write
+	}
+	return a, true
+}
+
+// Zipf emits lines with a Zipfian popularity distribution (exponent theta),
+// the canonical model for skewed, cache-friendly-but-heavy-tailed access.
+type Zipf struct {
+	region memsys.Region
+	cum    []float64
+	perm   []uint32
+	rng    *rl.Rand
+	sig    uint16
+}
+
+// NewZipf builds a Zipf generator over the first n lines of region. Ranks
+// are permuted across the region so popularity is not address-correlated.
+func NewZipf(region memsys.Region, n int, theta float64, seed uint64, sig uint16) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	maxLines := int(region.Size / memsys.LineSize)
+	if n > maxLines {
+		n = maxLines
+	}
+	z := &Zipf{region: region, rng: rl.NewRand(seed), sig: sig}
+	z.cum = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+		z.cum[i] = sum
+	}
+	for i := range z.cum {
+		z.cum[i] /= sum
+	}
+	z.perm = make([]uint32, n)
+	for i := range z.perm {
+		z.perm[i] = uint32(i)
+	}
+	prng := rl.NewRand(seed ^ 0xabcdef)
+	for i := n - 1; i > 0; i-- {
+		j := prng.Intn(i + 1)
+		z.perm[i], z.perm[j] = z.perm[j], z.perm[i]
+	}
+	return z
+}
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return "zipf" }
+
+// Next implements Generator.
+func (z *Zipf) Next() (memsys.Access, bool) {
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.perm) {
+		i = len(z.perm) - 1
+	}
+	line := uint64(z.perm[i])
+	return memsys.Access{Addr: z.region.Base + memsys.Addr(line*memsys.LineSize), Type: memsys.Read, Region: z.sig}, true
+}
+
+// PointerChase emits a dependent chain of loads following a random
+// permutation cycle through the region — the archetypal irregular pattern
+// (mcf-style).
+type PointerChase struct {
+	region memsys.Region
+	next   []uint32
+	cur    uint32
+	sig    uint16
+}
+
+// NewPointerChase builds a single-cycle random permutation over n lines.
+func NewPointerChase(region memsys.Region, n int, seed uint64, sig uint16) *PointerChase {
+	if n < 2 {
+		n = 2
+	}
+	maxLines := int(region.Size / memsys.LineSize)
+	if n > maxLines {
+		n = maxLines
+	}
+	// Sattolo's algorithm: a uniform single-cycle permutation.
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	rng := rl.NewRand(seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return &PointerChase{region: region, next: p, sig: sig}
+}
+
+// Name implements Generator.
+func (p *PointerChase) Name() string { return "pointer-chase" }
+
+// Next implements Generator.
+func (p *PointerChase) Next() (memsys.Access, bool) {
+	a := memsys.Access{Addr: p.region.Base + memsys.Addr(uint64(p.cur)*memsys.LineSize), Type: memsys.Read, Region: p.sig}
+	p.cur = p.next[p.cur]
+	return a, true
+}

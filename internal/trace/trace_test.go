@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"testing"
+
+	"cosmos/internal/memsys"
+)
+
+func region(size uint64) memsys.Region {
+	return memsys.Region{Name: "r", Base: 1 << 20, Size: size, Elem: 1}
+}
+
+func drain(g Generator, max int) []memsys.Access {
+	var out []memsys.Access
+	for len(out) < max {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestSequentialWrapsAndWrites(t *testing.T) {
+	g := NewSequential(region(64*4), 4, 9)
+	got := drain(g, 8)
+	if len(got) != 8 {
+		t.Fatalf("sequential should be endless, got %d", len(got))
+	}
+	for i, a := range got {
+		wantAddr := memsys.Addr(1<<20 + (i%4)*64)
+		if a.Addr != wantAddr {
+			t.Fatalf("access %d addr %#x, want %#x", i, uint64(a.Addr), uint64(wantAddr))
+		}
+		if a.Region != 9 {
+			t.Fatal("region tag lost")
+		}
+	}
+	writes := 0
+	for _, a := range got {
+		if a.Type == memsys.Write {
+			writes++
+		}
+	}
+	if writes != 2 {
+		t.Fatalf("writeEvery=4 over 8 accesses: %d writes, want 2", writes)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := Limit(NewSequential(region(64*100), 0, 0), 10)
+	if got := drain(g, 1000); len(got) != 10 {
+		t.Fatalf("Limit(10) yielded %d", len(got))
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted limit must stay exhausted")
+	}
+}
+
+func TestUniformStaysInRegion(t *testing.T) {
+	r := region(64 * 128)
+	g := NewUniform(r, 30, 42, 0)
+	writes := 0
+	for i := 0; i < 5000; i++ {
+		a, ok := g.Next()
+		if !ok {
+			t.Fatal("uniform must be endless")
+		}
+		if !r.Contains(a.Addr) {
+			t.Fatalf("address %#x outside region", uint64(a.Addr))
+		}
+		if uint64(a.Addr)%64 != 0 {
+			t.Fatal("unaligned access")
+		}
+		if a.Type == memsys.Write {
+			writes++
+		}
+	}
+	if writes < 1200 || writes > 1800 {
+		t.Fatalf("writePct=30: %d/5000 writes", writes)
+	}
+}
+
+func TestUniformDeterminism(t *testing.T) {
+	r := region(64 * 64)
+	a := NewUniform(r, 0, 7, 0)
+	b := NewUniform(r, 0, 7, 0)
+	for i := 0; i < 100; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := region(64 * 1024)
+	g := NewZipf(r, 1024, 0.99, 3, 0)
+	counts := map[memsys.Addr]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		a, _ := g.Next()
+		if !r.Contains(a.Addr) {
+			t.Fatalf("zipf escaped region: %#x", uint64(a.Addr))
+		}
+		counts[a.Addr]++
+	}
+	// The most popular line should dominate: >2% of accesses with
+	// theta=0.99 over 1024 items (expected ≈13%).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.02 {
+		t.Fatalf("zipf max share %.4f, want skewed", float64(max)/n)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("zipf touched only %d distinct lines — tail missing", len(counts))
+	}
+}
+
+func TestPointerChaseVisitsEverything(t *testing.T) {
+	const n = 256
+	r := region(64 * n)
+	g := NewPointerChase(r, n, 11, 0)
+	seen := map[memsys.Addr]bool{}
+	for i := 0; i < n; i++ {
+		a, _ := g.Next()
+		seen[a.Addr] = true
+	}
+	// Sattolo permutation is a single cycle: n steps visit n lines.
+	if len(seen) != n {
+		t.Fatalf("cycle visited %d/%d lines", len(seen), n)
+	}
+	// And then repeats the same cycle.
+	first, _ := NewPointerChase(r, n, 11, 0).Next()
+	again, _ := g.Next()
+	if first != again {
+		t.Fatal("cycle must repeat deterministically")
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	mk := func(base uint64) Generator {
+		return Limit(NewSequential(memsys.Region{Base: memsys.Addr(base), Size: 64 * 1000, Elem: 1}, 0, 0), 6)
+	}
+	iv := NewInterleave("mix", []Generator{mk(0), mk(1 << 30)}, 2)
+	got := drain(iv, 100)
+	if len(got) != 12 {
+		t.Fatalf("merged %d accesses, want 12", len(got))
+	}
+	// chunk=2: threads alternate in pairs, thread IDs stamped.
+	wantThreads := []uint8{0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1}
+	for i, a := range got {
+		if a.Thread != wantThreads[i] {
+			t.Fatalf("access %d thread %d, want %d", i, a.Thread, wantThreads[i])
+		}
+	}
+}
+
+func TestInterleaveSurvivesUnevenStreams(t *testing.T) {
+	short := Limit(NewSequential(region(64*10), 0, 0), 3)
+	long := Limit(NewSequential(region(64*10), 0, 0), 9)
+	iv := NewInterleave("mix", []Generator{short, long}, 2)
+	got := drain(iv, 100)
+	if len(got) != 12 {
+		t.Fatalf("merged %d, want 12", len(got))
+	}
+	// Tail must be all thread 1 after thread 0 is exhausted.
+	for _, a := range got[6:] {
+		if a.Thread != 1 {
+			t.Fatalf("after exhaustion only thread 1 should run, got t%d", a.Thread)
+		}
+	}
+}
+
+func TestFromFuncStreams(t *testing.T) {
+	g := FromFunc("push", func(emit func(memsys.Access)) {
+		for i := 0; i < 10000; i++ {
+			emit(memsys.Access{Addr: memsys.Addr(i * 64)})
+		}
+	})
+	got := drain(g, 20000)
+	if len(got) != 10000 {
+		t.Fatalf("got %d accesses", len(got))
+	}
+	for i, a := range got {
+		if a.Addr != memsys.Addr(i*64) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted FromFunc must report eof")
+	}
+}
+
+func TestFromFuncCloseCancels(t *testing.T) {
+	g := FromFunc("endless", func(emit func(memsys.Access)) {
+		for i := uint64(0); ; i++ {
+			emit(memsys.Access{Addr: memsys.Addr(i)})
+			if i > 1<<22 {
+				return // safety: cancellation must kick in long before
+			}
+		}
+	})
+	if _, ok := g.Next(); !ok {
+		t.Fatal("first access should arrive")
+	}
+	CloseIfCloser(g) // must not deadlock
+	if _, ok := g.Next(); ok {
+		t.Fatal("closed generator must be exhausted")
+	}
+}
+
+func TestCloseIfCloserOnPlainGenerator(t *testing.T) {
+	// Sequential does not implement Closer — must be a no-op, not a panic.
+	CloseIfCloser(NewSequential(region(64), 0, 0))
+}

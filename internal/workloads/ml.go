@@ -1,0 +1,209 @@
+package workloads
+
+import (
+	"cosmos/internal/memsys"
+	"cosmos/internal/rl"
+	"cosmos/internal/trace"
+)
+
+// Region signatures for ML workloads.
+const (
+	sigWeights uint16 = 48
+	sigActs    uint16 = 49
+	sigEmbed   uint16 = 50
+	sigDense   uint16 = 51
+)
+
+// Layer describes one inference layer's memory behaviour: the weight bytes
+// streamed per inference and the activation bytes reused.
+type Layer struct {
+	Name        string
+	WeightBytes uint64
+	ActBytes    uint64
+}
+
+// Model is a neural network described as a layer list; inference streams
+// weights sequentially (output-channel partitioned across threads) and
+// re-touches activations — the regular, high-locality pattern of §6.3 whose
+// counter writes trigger heavy re-encryption.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// The six models of Fig 17 plus the 3-layer MLP of Fig 8, with weight
+// volumes derived from the architectures the paper cites (fp32).
+func mlp3() Model {
+	// 3-layer MLP: 784→512→256→10.
+	return Model{Name: "MLP", Layers: []Layer{
+		{"fc1", 784 * 512 * 4, 512 * 4},
+		{"fc2", 512 * 256 * 4, 256 * 4},
+		{"fc3", 256 * 10 * 4, 10 * 4},
+	}}
+}
+
+func alexNet() Model {
+	return Model{Name: "AlexNet", Layers: []Layer{
+		{"conv1", 35 << 10, 1160 << 10}, {"conv2", 1200 << 10, 750 << 10},
+		{"conv3", 3540 << 10, 260 << 10}, {"conv4", 2650 << 10, 260 << 10},
+		{"conv5", 1770 << 10, 170 << 10}, {"fc6", 151 << 20, 16 << 10},
+		{"fc7", 64 << 20, 16 << 10}, {"fc8", 16 << 20, 4 << 10},
+	}}
+}
+
+func resNet() Model {
+	// ResNet-18-ish: 11.7M params.
+	ls := []Layer{{"conv1", 37 << 10, 3136 << 10}}
+	blocks := []struct {
+		n  int
+		kb uint64
+		ab uint64
+	}{
+		{4, 144, 784}, {4, 560, 392}, {4, 2240, 196}, {4, 8960, 98},
+	}
+	for si, s := range blocks {
+		for b := 0; b < s.n; b++ {
+			ls = append(ls, Layer{
+				Name:        "block",
+				WeightBytes: s.kb << 10,
+				ActBytes:    s.ab << 10,
+			})
+			_ = si
+		}
+	}
+	ls = append(ls, Layer{"fc", 2 << 20, 4 << 10})
+	return Model{Name: "ResNet", Layers: ls}
+}
+
+func vgg() Model {
+	return Model{Name: "VGG", Layers: []Layer{
+		{"conv1", 7 << 10, 12 << 20}, {"conv2", 147 << 10, 12 << 20},
+		{"conv3", 295 << 10, 6 << 20}, {"conv4", 590 << 10, 6 << 20},
+		{"conv5", 1180 << 10, 3 << 20}, {"conv6", 2360 << 10, 3 << 20},
+		{"conv7", 2360 << 10, 3 << 20}, {"conv8", 4720 << 10, 1536 << 10},
+		{"conv9", 9440 << 10, 1536 << 10}, {"conv10", 9440 << 10, 1536 << 10},
+		{"conv11", 9440 << 10, 384 << 10}, {"conv12", 9440 << 10, 384 << 10},
+		{"conv13", 9440 << 10, 384 << 10},
+		{"fc14", 392 << 20, 16 << 10}, {"fc15", 64 << 20, 16 << 10}, {"fc16", 16 << 20, 4 << 10},
+	}}
+}
+
+func bert() Model {
+	// BERT-base: 12 layers × (4·768² attention + 2·768·3072 FFN) params.
+	ls := make([]Layer, 0, 24)
+	for i := 0; i < 12; i++ {
+		ls = append(ls,
+			Layer{"attn", 4 * 768 * 768 * 4, 128 * 768 * 4},
+			Layer{"ffn", 2 * 768 * 3072 * 4, 128 * 3072 * 4},
+		)
+	}
+	return Model{Name: "BERT", Layers: ls}
+}
+
+func transformer() Model {
+	ls := make([]Layer, 0, 12)
+	for i := 0; i < 6; i++ {
+		ls = append(ls,
+			Layer{"attn", 4 * 512 * 512 * 4, 128 * 512 * 4},
+			Layer{"ffn", 2 * 512 * 2048 * 4, 128 * 2048 * 4},
+		)
+	}
+	return Model{Name: "Transformer", Layers: ls}
+}
+
+// MLModels returns the Fig 17 model set.
+func MLModels() []Model {
+	return []Model{alexNet(), resNet(), vgg(), bert(), transformer()}
+}
+
+// ModelByName resolves a model (including "MLP" and "DLRM" handled
+// specially by the registry).
+func ModelByName(name string) (Model, bool) {
+	for _, m := range append(MLModels(), mlp3()) {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Inference streams the model's layers repeatedly: threads partition each
+// layer's weights by output channel (contiguous slices); activations are
+// read before and written after each layer.
+func Inference(m Model, threads int, seed uint64) trace.Generator {
+	l := memsys.NewLayout(1 << 30)
+	wRegs := make([]memsys.Region, len(m.Layers))
+	aRegs := make([]memsys.Region, len(m.Layers))
+	for i, layer := range m.Layers {
+		wRegs[i] = l.Alloc("w", (layer.WeightBytes+63)/64, 64)
+		aRegs[i] = l.Alloc("a", (layer.ActBytes+63)/64+1, 64)
+	}
+	return interleaved(m.Name, threads, 64, func(t int) func(emit func(memsys.Access)) {
+		return func(emit func(memsys.Access)) {
+			for inference := 0; inference < 1<<30; inference++ {
+				for li := range m.Layers {
+					wLines := wRegs[li].Size / 64
+					aLines := aRegs[li].Size / 64
+					lo := wLines * uint64(t) / uint64(threads)
+					hi := wLines * uint64(t+1) / uint64(threads)
+					for w := lo; w < hi; w++ {
+						emit(memsys.Access{Addr: wRegs[li].At(w), Type: memsys.Read, Region: sigWeights})
+						// periodic activation reuse: read an input
+						// activation line for each weight tile
+						if w%8 == 0 {
+							emit(memsys.Access{Addr: aRegs[li].At(w % aLines), Type: memsys.Read, Region: sigActs})
+						}
+					}
+					// write this thread's output activation slice
+					aLo := aLines * uint64(t) / uint64(threads)
+					aHi := aLines * uint64(t+1) / uint64(threads)
+					for a := aLo; a < aHi; a++ {
+						emit(memsys.Access{Addr: aRegs[li].At(a), Type: memsys.Write, Region: sigActs})
+					}
+				}
+			}
+		}
+	})
+}
+
+// DLRM models the recommendation workload: random embedding-table gathers
+// (the irregular half) followed by small dense MLP streaming (the regular
+// half), per the paper's description of DLRM processing 13 dense features
+// and multiple categorical embeddings.
+func DLRM(tables int, rowsPerTable int, threads int, seed uint64) trace.Generator {
+	l := memsys.NewLayout(1 << 30)
+	embRegs := make([]memsys.Region, tables)
+	for i := range embRegs {
+		embRegs[i] = l.Alloc("emb", uint64(rowsPerTable), 256) // 64-dim fp32 rows
+	}
+	mlpReg := l.Alloc("mlp", 4096, 64)
+
+	return interleaved("DLRM", threads, 64, func(t int) func(emit func(memsys.Access)) {
+		return func(emit func(memsys.Access)) {
+			rng := rl.NewRand(seed + uint64(t)*41)
+			for batch := 0; batch < 1<<30; batch++ {
+				// embedding gathers: two random rows per table
+				// (multi-hot categorical features), 4 lines each
+				for _, reg := range embRegs {
+					for h := 0; h < 2; h++ {
+						row := uint64(rng.Intn(rowsPerTable))
+						for k := memsys.Addr(0); k < 256; k += 64 {
+							emit(memsys.Access{Addr: reg.At(row) + k, Type: memsys.Read, Region: sigEmbed})
+						}
+					}
+				}
+				// bottom + top MLP: stream the small dense weights
+				for w := uint64(0); w < 4096; w += 16 {
+					emit(memsys.Access{Addr: mlpReg.At(w), Type: memsys.Read, Region: sigDense})
+				}
+				// write the interaction output
+				emit(memsys.Access{Addr: mlpReg.At(uint64(rng.Intn(4096))), Type: memsys.Write, Region: sigDense})
+			}
+		}
+	})
+}
+
+// MLP returns the Fig 8 3-layer MLP generator.
+func MLP(threads int, seed uint64) trace.Generator {
+	return Inference(mlp3(), threads, seed)
+}
