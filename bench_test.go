@@ -160,6 +160,54 @@ func BenchmarkSimStepCosmos(b *testing.B) {
 	}
 }
 
+// BenchmarkSimStepTelemetryDisabled is the regression guard for the
+// telemetry fast path: with no sampler, tracer or histogram attached, Step
+// must not allocate. The system is warmed first so lazily-materialised
+// state (counter blocks, DRAM rows) does not pollute the measurement.
+func BenchmarkSimStepTelemetryDisabled(b *testing.B) {
+	s, gen := warmedSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := gen.Next()
+		s.Step(a)
+	}
+}
+
+// TestStepZeroAllocsTelemetryDisabled pins the same property as a hard
+// assertion so `go test` (not just benchmark eyeballing) fails on a
+// regression.
+func TestStepZeroAllocsTelemetryDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement needs the full warmup")
+	}
+	s, gen := warmedSystem()
+	const stepsPerRun = 100
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < stepsPerRun; i++ {
+			a, _ := gen.Next()
+			s.Step(a)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("disabled-telemetry Step allocates: %.3f allocs per %d steps, want 0", avg, stepsPerRun)
+	}
+}
+
+// warmedSystem builds a COSMOS system and drives it to a steady state where
+// every counter block of the (small) region has materialised.
+func warmedSystem() (*sim.System, trace.Generator) {
+	cfg := sim.DefaultConfig()
+	cfg.MC.MemBytes = 1 << 30
+	s := sim.New(cfg, secmem.DesignCosmos())
+	gen := trace.NewUniform(memsys.Region{Base: 0, Size: 32 << 20, Elem: 1}, 20, 3, 1)
+	for i := 0; i < 400_000; i++ {
+		a, _ := gen.Next()
+		s.Step(a)
+	}
+	return s, gen
+}
+
 func BenchmarkWorkloadGenDFS(b *testing.B) {
 	gen, err := workloads.Build("DFS", workloads.Options{Threads: 4, GraphNodes: 100_000, GraphDegree: 6, Seed: 1})
 	if err != nil {

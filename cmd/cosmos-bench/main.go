@@ -12,12 +12,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cosmos/internal/experiments"
+	"cosmos/internal/sim"
+	"cosmos/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +35,36 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV")
 		out   = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
 		par   = flag.Int("parallel", runtime.NumCPU(), "workers for the evaluation-matrix prewarm (-exp all)")
+
+		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
+		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
+		statsCSV   = flag.Bool("stats-csv", false, "emit -stats-out time-series as CSV instead of JSONL")
+		traceOut   = flag.String("trace-out", "", "write Chrome trace_event JSON, one <workload>_<design>.trace.json per simulation, into this directory")
+		traceLimit = flag.Int("trace-limit", 0, "max trace slices recorded per simulation (0 = default cap)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -40,6 +73,7 @@ func main() {
 	}
 
 	lab := experiments.NewLab(experiments.Scaled(*scale))
+	lab.Instrument = instrumentHook(*statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit)
 
 	run := func(e experiments.Experiment) {
 		start := time.Now()
@@ -75,4 +109,72 @@ func main() {
 		log.Fatal(err)
 	}
 	run(e)
+}
+
+// instrumentHook builds the Lab.Instrument callback attaching telemetry to
+// every simulation the lab executes. Returns nil when no telemetry flag is
+// set, keeping the uninstrumented path identical to before.
+func instrumentHook(statsDir string, interval uint64, statsCSV bool, traceDir string, traceLimit int) func(string, *sim.System) func() {
+	if statsDir == "" && traceDir == "" {
+		return nil
+	}
+	for _, dir := range []string{statsDir, traceDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return func(label string, s *sim.System) func() {
+		reg := telemetry.NewRegistry()
+		s.RegisterMetrics(reg.Root())
+
+		var cleanups []func()
+		if statsDir != "" {
+			ext := ".jsonl"
+			if statsCSV {
+				ext = ".csv"
+			}
+			f, err := os.Create(filepath.Join(statsDir, label+ext))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := telemetry.SamplerConfig{Interval: interval}
+			if statsCSV {
+				cfg.CSV = f
+			} else {
+				cfg.JSONL = f
+			}
+			sp, err := telemetry.NewSampler(reg, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.AttachSampler(sp)
+			cleanups = append(cleanups, func() {
+				if err := sp.Err(); err != nil {
+					log.Printf("stats sink %s: %v", label, err)
+				}
+				f.Close()
+			})
+		}
+		if traceDir != "" {
+			tr := telemetry.NewTracer(traceLimit)
+			s.AttachTracer(tr)
+			cleanups = append(cleanups, func() {
+				f, err := os.Create(filepath.Join(traceDir, label+".trace.json"))
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				if err := tr.WriteJSON(f); err != nil {
+					log.Printf("trace sink %s: %v", label, err)
+				}
+			})
+		}
+		return func() {
+			for _, c := range cleanups {
+				c()
+			}
+		}
+	}
 }

@@ -13,12 +13,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/stats"
+	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
 	"cosmos/internal/workloads"
 )
@@ -40,8 +44,24 @@ func main() {
 		ctrBytes  = flag.Int("ctr-cache", 0, "CTR cache bytes per core (0 = Table 3 default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
+
+		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
+		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
+		traceOut   = flag.String("trace-out", "", "write off-chip access event traces as Chrome trace_event JSON (Perfetto/about://tracing)")
+		traceLimit = flag.Int("trace-limit", 0, "max trace slices recorded (0 = default cap)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	d, err := secmem.DesignByName(*design)
 	if err != nil {
@@ -68,6 +88,64 @@ func main() {
 	}
 
 	s := sim.New(cfg, d)
+
+	if *statsOut != "" || *traceOut != "" {
+		reg := telemetry.NewRegistry()
+		s.RegisterMetrics(reg.Root())
+		if *statsOut != "" {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			scfg := telemetry.SamplerConfig{Interval: *statsIvl}
+			if strings.HasSuffix(*statsOut, ".csv") {
+				scfg.CSV = f
+			} else {
+				scfg.JSONL = f
+			}
+			sp, err := telemetry.NewSampler(reg, scfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.AttachSampler(sp)
+			defer func() {
+				if err := sp.Err(); err != nil {
+					log.Fatalf("stats sink: %v", err)
+				}
+			}()
+		}
+		if *traceOut != "" {
+			tr := telemetry.NewTracer(*traceLimit)
+			s.AttachTracer(tr)
+			defer func() {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				if err := tr.WriteJSON(f); err != nil {
+					log.Fatalf("trace sink: %v", err)
+				}
+				if n := tr.Dropped(); n > 0 {
+					log.Printf("trace: %d slices dropped (event cap reached; raise -trace-limit)", n)
+				}
+			}()
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := s.Run(trace.Limit(gen, *accesses), *accesses)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -94,6 +172,8 @@ func printResults(r sim.Results, csv bool) {
 	t.Row("CTR miss rate", stats.Pct(r.CtrMissRate))
 	t.Row("off-chip reads", r.OffChipReads)
 	t.Row("walk bypasses", r.Bypassed)
+	t.Row("bypass rate", stats.Pct(r.BypassRate))
+	t.Row("avg fetch latency", r.AvgFetchLat)
 	t.Row("SMAT (cycles)", r.SMAT)
 	t.Row("DRAM row-hit rate", stats.Pct(r.DRAM.RowHitRate()))
 

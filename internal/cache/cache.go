@@ -5,7 +5,11 @@
 // (Algorithm 2).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"cosmos/internal/telemetry"
+)
 
 // Policy decides which way of a set to evict and observes hits, fills and
 // evictions so it can maintain its own recency/reuse state. Policies are
@@ -128,6 +132,20 @@ func log2(n int) int {
 		k++
 	}
 	return k
+}
+
+// RegisterMetrics registers this cache's hit/miss/eviction/writeback
+// counters and per-interval hit/miss rates under the given telemetry scope.
+// The counters are sampled by pointer, so registration adds no cost to
+// Access.
+func (c *Cache) RegisterMetrics(s *telemetry.Scope) {
+	s.Counter("accesses", &c.Stats.Accesses)
+	s.Counter("hits", &c.Stats.Hits)
+	s.Counter("misses", &c.Stats.Misses)
+	s.Counter("evictions", &c.Stats.Evictions)
+	s.Counter("writebacks", &c.Stats.Writebacks)
+	s.RateOf("hit_rate", &c.Stats.Hits, &c.Stats.Accesses)
+	s.RateOf("miss_rate", &c.Stats.Misses, &c.Stats.Accesses)
 }
 
 // Access performs a load or store of the given cache-line number, filling on

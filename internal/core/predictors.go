@@ -2,6 +2,7 @@ package core
 
 import (
 	"cosmos/internal/rl"
+	"cosmos/internal/telemetry"
 )
 
 // Action encoding shared by both predictors: for the data location
@@ -104,6 +105,28 @@ func (p *DataPredictor) Learn(pred Prediction, actualOffChip bool) float64 {
 // ExplorationRate reports the observed ε-greedy exploration fraction.
 func (p *DataPredictor) ExplorationRate() float64 { return p.agent.ExplorationRate() }
 
+// RegisterMetrics registers the prediction quadrant counters, per-interval
+// accuracy/precision/recall (off-chip = positive class), and the agent's
+// exploration and Q-coverage metrics — the time-resolved view of the Fig 12
+// study and of RL convergence.
+func (p *DataPredictor) RegisterMetrics(s *telemetry.Scope) {
+	st := &p.Stats
+	s.Counter("pred_on_correct", &st.PredOnCorrect)
+	s.Counter("pred_on_wrong", &st.PredOnWrong)
+	s.Counter("pred_off_correct", &st.PredOffCorrect)
+	s.Counter("pred_off_wrong", &st.PredOffWrong)
+	s.Rate("accuracy",
+		func() uint64 { return st.PredOnCorrect + st.PredOffCorrect },
+		func() uint64 { return st.Total() })
+	s.Rate("off_precision",
+		func() uint64 { return st.PredOffCorrect },
+		func() uint64 { return st.PredOffCorrect + st.PredOffWrong })
+	s.Rate("off_recall",
+		func() uint64 { return st.PredOffCorrect },
+		func() uint64 { return st.PredOffCorrect + st.PredOnWrong })
+	p.agent.RegisterMetrics(s.Scope("agent"))
+}
+
 // Table exposes the Q-table (for quantization studies and tests).
 func (p *DataPredictor) Table() *rl.QTable { return p.agent.Table }
 
@@ -148,6 +171,26 @@ func NewLocalityPredictor(p Params) *LocalityPredictor {
 
 // CET exposes the evaluation table (for the Fig 9 sweep).
 func (p *LocalityPredictor) CET() *CET { return p.cet }
+
+// RegisterMetrics registers the locality classification counters, the
+// per-interval good-locality share and CET hit rate, and the agent's
+// exploration and Q-coverage metrics — the time-resolved view of the Fig 13
+// study.
+func (p *LocalityPredictor) RegisterMetrics(s *telemetry.Scope) {
+	st := &p.Stats
+	s.Counter("pred_good", &st.PredGood)
+	s.Counter("pred_bad", &st.PredBad)
+	s.Counter("cet_hits", &st.CETHits)
+	s.Counter("cet_misses", &st.CETMisses)
+	s.Counter("cet_evictions", &st.Evictions)
+	s.Rate("good_fraction",
+		func() uint64 { return st.PredGood },
+		func() uint64 { return st.PredGood + st.PredBad })
+	s.Rate("cet_hit_rate",
+		func() uint64 { return st.CETHits },
+		func() uint64 { return st.CETHits + st.CETMisses })
+	p.agent.RegisterMetrics(s.Scope("agent"))
+}
 
 // Classification is the predictor's output for one CTR access: the
 // good/bad locality tag and the 8-bit confidence score the LCR-CTR cache

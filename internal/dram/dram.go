@@ -4,6 +4,8 @@
 // so the rest of the simulator works in a single clock domain.
 package dram
 
+import "cosmos/internal/telemetry"
+
 // Config describes the device geometry and timing (all times in core
 // cycles at 3GHz; DDR4-2400 CL17 ≈ 14.2ns ≈ 42 cycles).
 type Config struct {
@@ -90,6 +92,19 @@ func New(cfg Config) *Model {
 		m.openRow[i] = -1
 	}
 	return m
+}
+
+// RegisterMetrics registers the DRAM behaviour counters and the
+// per-interval row-hit rate under the given telemetry scope.
+func (m *Model) RegisterMetrics(s *telemetry.Scope) {
+	s.Counter("reads", &m.Stats.Reads)
+	s.Counter("writes", &m.Stats.Writes)
+	s.Counter("row_hits", &m.Stats.RowHits)
+	s.Counter("row_misses", &m.Stats.RowMisses)
+	s.Counter("busy_stalls", &m.Stats.BusyStalls)
+	s.Rate("row_hit_rate",
+		func() uint64 { return m.Stats.RowHits },
+		func() uint64 { return m.Stats.Reads + m.Stats.Writes })
 }
 
 // bankOf maps an address to a bank using row-interleaved placement: bits

@@ -80,6 +80,14 @@ func Scaled(factor float64) Scale {
 type Lab struct {
 	Scale Scale
 
+	// Instrument, when non-nil, is invoked for every simulation the lab
+	// actually executes (memoised recalls are not re-instrumented), after
+	// the System is built and before it runs. label identifies the run
+	// (workload, design and option tweaks, filename-safe). The returned
+	// cleanup, if non-nil, runs after the simulation finishes — close files
+	// there. Instrument may be called concurrently from Prewarm workers.
+	Instrument func(label string, s *sim.System) func()
+
 	mu    sync.Mutex
 	cache map[string]sim.Results
 }
@@ -139,12 +147,45 @@ func (l *Lab) run(workload string, design secmem.Design, opt runOpts) sim.Result
 		panic(err) // workload names are internal constants
 	}
 	s := sim.New(cfg, design)
+	if l.Instrument != nil {
+		if cleanup := l.Instrument(runLabel(workload, design.Name, opt), s); cleanup != nil {
+			defer cleanup()
+		}
+	}
 	r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
 
 	l.mu.Lock()
 	l.cache[key] = r
 	l.mu.Unlock()
 	return r
+}
+
+// runLabel builds a filename-safe identifier for one simulation: workload
+// and design, plus any non-default option tweaks.
+func runLabel(workload, design string, opt runOpts) string {
+	label := workload + "_" + design
+	if opt.cores != 0 && opt.cores != 4 {
+		label += fmt.Sprintf("_c%d", opt.cores)
+	}
+	if opt.ctrBytes != 0 {
+		label += fmt.Sprintf("_ctr%dk", opt.ctrBytes>>10)
+	}
+	if opt.ctrPolicy != "" {
+		label += "_" + opt.ctrPolicy
+	}
+	if opt.ctrPf != "" {
+		label += "_" + opt.ctrPf
+	}
+	var b []byte
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			b = append(b, byte(r))
+		default:
+			b = append(b, '-')
+		}
+	}
+	return string(b)
 }
 
 // perf returns performance normalised to the non-protected system

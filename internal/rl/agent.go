@@ -1,5 +1,7 @@
 package rl
 
+import "cosmos/internal/telemetry"
+
 // Agent couples a Q-table with ε-greedy action selection and a fixed
 // (α, γ, ε) hyper-parameter triple. Both COSMOS predictors are Agents over a
 // two-action space.
@@ -38,6 +40,17 @@ func (ag *Agent) Act(s int) int {
 // bootstrap value from the successor state (see QTable.Update).
 func (ag *Agent) Learn(s, a int, reward, next float64) {
 	ag.Table.Update(s, a, reward, next, ag.Alpha, ag.Gamma)
+}
+
+// RegisterMetrics registers the agent's decision counters, the observed
+// per-interval exploration rate, the configured ε, and the Q-table state
+// coverage under the given telemetry scope.
+func (ag *Agent) RegisterMetrics(s *telemetry.Scope) {
+	s.Counter("decisions", &ag.Decisions)
+	s.Counter("explorations", &ag.Explorations)
+	s.RateOf("exploration_rate", &ag.Explorations, &ag.Decisions)
+	s.Gauge("epsilon", func() float64 { return ag.Epsilon })
+	s.Gauge("q_coverage", ag.Table.Coverage)
 }
 
 // ExplorationRate reports the observed fraction of random actions.

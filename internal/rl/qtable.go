@@ -98,6 +98,27 @@ func (t *QTable) Score(s, a int) uint8 {
 	return uint8(int16(t.Quantize(s, a)) + 128)
 }
 
+// Coverage reports the fraction of states whose Q-row has been touched by
+// at least one update (any non-zero Q-value). It is the telemetry signal
+// for "how much of the state space has the agent actually visited" —
+// convergence shows up as coverage flattening out.
+func (t *QTable) Coverage() float64 {
+	if t.states == 0 {
+		return 0
+	}
+	visited := 0
+	for s := 0; s < t.states; s++ {
+		base := s * t.actions
+		for a := 0; a < t.actions; a++ {
+			if t.q[base+a] != 0 {
+				visited++
+				break
+			}
+		}
+	}
+	return float64(visited) / float64(t.states)
+}
+
 // StorageBits reports the hardware storage cost of the table in bits,
 // assuming 8 bits per Q-value as in Table 2 of the paper.
 func (t *QTable) StorageBits() int { return t.states * t.actions * 8 }

@@ -10,6 +10,7 @@ import (
 	"cosmos/internal/integrity"
 	"cosmos/internal/memsys"
 	"cosmos/internal/prefetch"
+	"cosmos/internal/telemetry"
 )
 
 // NewEngine builds the controller for a design point.
@@ -96,6 +97,61 @@ func policyByName(name string, seed uint64) cache.Policy {
 		return cache.NewDRRIP()
 	}
 	panic(fmt.Sprintf("secmem: unknown ctr policy %q", name))
+}
+
+// RegisterMetrics registers the full memory-controller metric set under the
+// given telemetry scope: aggregate CTR cache behaviour, the Fig 2 traffic
+// decomposition, the DRAM model, per-core metadata caches, the RL
+// predictors, the prefetcher, and a histogram of MT verification walk depth
+// (DRAM node fetches per walk). Registration is sample-pull only except the
+// walk-depth histogram, which is nil-guarded on the hot path.
+func (e *Engine) RegisterMetrics(s *telemetry.Scope) {
+	ctrS := s.Scope("ctr")
+	ctrS.Counter("hits", &e.CtrHits)
+	ctrS.Counter("misses", &e.CtrMisses)
+	ctrS.Rate("hit_rate",
+		func() uint64 { return e.CtrHits },
+		func() uint64 { return e.CtrHits + e.CtrMisses })
+	ctrS.Rate("miss_rate",
+		func() uint64 { return e.CtrMisses },
+		func() uint64 { return e.CtrHits + e.CtrMisses })
+
+	t := s.Scope("traffic")
+	t.Counter("data_read", &e.Traffic.DataRead)
+	t.Counter("data_write", &e.Traffic.DataWrite)
+	t.Counter("ctr_read", &e.Traffic.CtrRead)
+	t.Counter("ctr_write", &e.Traffic.CtrWrite)
+	t.Counter("mt_read", &e.Traffic.MTRead)
+	t.Counter("mac_read", &e.Traffic.MACRead)
+	t.Counter("mac_write", &e.Traffic.MACWrite)
+	t.Counter("reenc_write", &e.Traffic.ReEncWrite)
+	t.Counter("wasted_fetch", &e.Traffic.WastedDataFetch)
+	t.CounterFunc("total", func() uint64 { return e.Traffic.Total() })
+
+	e.dram.RegisterMetrics(s.Scope("dram"))
+
+	for i, cc := range e.ctrCaches {
+		cc.RegisterMetrics(s.Scope(fmt.Sprintf("ctr_cache%d", i)))
+	}
+	for i, mc := range e.macCaches {
+		mc.RegisterMetrics(s.Scope(fmt.Sprintf("mac_cache%d", i)))
+	}
+
+	if e.DataPred != nil {
+		e.DataPred.RegisterMetrics(s.Scope("data_pred"))
+	}
+	if e.CtrPred != nil {
+		e.CtrPred.RegisterMetrics(s.Scope("ctr_pred"))
+	}
+	if e.pf != nil {
+		pfS := s.Scope("prefetch")
+		pfS.Counter("issued", &e.pfStats.Issued)
+		pfS.Counter("useful", &e.pfStats.Useful)
+		pfS.RateOf("accuracy", &e.pfStats.Useful, &e.pfStats.Issued)
+	}
+	if e.design.Secure {
+		e.walkHist = s.Histogram("mt.walk_depth")
+	}
 }
 
 // Design returns the configured design point.
@@ -224,9 +280,13 @@ func (e *Engine) verifyPath(c int, now uint64, ctrBlock uint64) {
 			e.Traffic.MTRead++
 			e.dram.Access(now, uint64(nodeAddr), false)
 		}
+		if e.walkHist != nil {
+			e.walkHist.Observe(uint64(len(e.pathBuf)))
+		}
 		return
 	}
 	cc := e.ctrCaches[c]
+	var fetched uint64
 	for depth, nodeAddr := range e.pathBuf {
 		r := cc.Access(nodeAddr.Line(), false, sigMT)
 		if r.Evicted && r.EvictedDirty {
@@ -244,10 +304,14 @@ func (e *Engine) verifyPath(c int, now uint64, ctrBlock uint64) {
 			e.lcrPols[c].SetHint(r.Set, r.Way, true, uint8(score))
 		}
 		if r.Hit {
-			return // ancestor already verified: trust established
+			break // ancestor already verified: trust established
 		}
+		fetched++
 		e.Traffic.MTRead++
 		e.dram.Access(now, uint64(nodeAddr), false)
+	}
+	if e.walkHist != nil {
+		e.walkHist.Observe(fetched)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"cosmos/internal/integrity"
 	"cosmos/internal/memsys"
 	"cosmos/internal/prefetch"
+	"cosmos/internal/telemetry"
 )
 
 // EarlyMode says when the CTR cache is consulted relative to the data
@@ -182,6 +183,10 @@ type Engine struct {
 	pfMark  map[uint64]bool // ctr cache lines filled by prefetch, not yet used
 
 	pathBuf []memsys.Addr
+
+	// walkHist, when non-nil, receives the number of MT path nodes fetched
+	// from DRAM per verification walk (telemetry; see RegisterMetrics).
+	walkHist *telemetry.Histogram
 
 	Traffic   Traffic
 	CtrHits   uint64

@@ -7,12 +7,15 @@
 package sim
 
 import (
+	"fmt"
+
 	"cosmos/internal/cache"
 	"cosmos/internal/core"
 	"cosmos/internal/dram"
 	"cosmos/internal/memsys"
 	"cosmos/internal/prefetch"
 	"cosmos/internal/secmem"
+	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
 )
 
@@ -97,6 +100,11 @@ type System struct {
 	offChipReads uint64
 	fetchLatSum  uint64
 	bypassed     uint64 // accesses that skipped the L2/LLC walk latency
+
+	// Telemetry (all nil when disabled — the fast path costs one branch).
+	sampler   *telemetry.Sampler
+	tracer    *telemetry.Tracer
+	fetchHist *telemetry.Histogram
 }
 
 // New builds a system for the given design point.
@@ -115,6 +123,59 @@ func New(cfg Config, design secmem.Design) *System {
 
 // MC exposes the memory controller (for experiment harnesses).
 func (s *System) MC() *secmem.Engine { return s.mc }
+
+// RegisterMetrics registers the whole system's metric set under root:
+// run-level access counters and derived rates, the off-chip fetch-latency
+// histogram, per-core L1/L2 and shared-LLC cache metrics, and everything the
+// memory controller exports (CTR pipeline, traffic classes, DRAM, RL
+// predictors). Call once after New and before the first sampled access.
+func (s *System) RegisterMetrics(root *telemetry.Scope) {
+	sys := root.Scope("sim")
+	sys.Counter("accesses", &s.accesses)
+	sys.Counter("reads", &s.reads)
+	sys.Counter("writes", &s.writes)
+	sys.Counter("offchip_reads", &s.offChipReads)
+	sys.Counter("bypassed", &s.bypassed)
+	sys.RateOf("bypass_rate", &s.bypassed, &s.offChipReads)
+	sys.RateOf("avg_fetch_lat", &s.fetchLatSum, &s.offChipReads)
+	sys.Gauge("ipc", func() float64 { return s.Results("").IPC })
+	s.fetchHist = sys.Histogram("fetch_latency")
+
+	for c := 0; c < s.cfg.Cores; c++ {
+		core := root.Scope(fmt.Sprintf("core%d", c))
+		s.l1s[c].RegisterMetrics(core.Scope("l1"))
+		s.l2s[c].RegisterMetrics(core.Scope("l2"))
+	}
+	s.llc.RegisterMetrics(root.Scope("llc"))
+	s.mc.RegisterMetrics(root.Scope("secmem"))
+}
+
+// AttachSampler enables interval sampling during Run. The sampler must be
+// built over a registry this system registered into.
+func (s *System) AttachSampler(sp *telemetry.Sampler) { s.sampler = sp }
+
+// AttachTracer enables event tracing of off-chip accesses: for every
+// off-chip fetch the three racing chains (walk / ctr / data, see Step) are
+// recorded as Chrome trace_event slices on the owning core's lane.
+func (s *System) AttachTracer(tr *telemetry.Tracer) {
+	s.tracer = tr
+	for c := 0; c < s.cfg.Cores; c++ {
+		tr.SetProcessName(c, fmt.Sprintf("core%d", c))
+		tr.SetThreadName(c, tidFetch, "fetch")
+		tr.SetThreadName(c, tidWalk, "walk")
+		tr.SetThreadName(c, tidCtr, "ctr")
+		tr.SetThreadName(c, tidData, "data")
+	}
+}
+
+// Trace track ids within one core's lane: the critical-path envelope plus
+// the three racing chains of an off-chip access.
+const (
+	tidFetch = iota
+	tidWalk
+	tidCtr
+	tidData
+)
 
 const sigWB uint16 = 59999
 
@@ -286,8 +347,41 @@ func (s *System) Step(a memsys.Access) uint64 {
 	s.offChipReads++
 	s.fetchLatSum += fetchEnd
 
+	if s.fetchHist != nil {
+		s.fetchHist.Observe(fetchEnd)
+	}
+	if s.tracer != nil {
+		s.traceFetch(c, now, walkLat, dataLat, fetchEnd, ctrRes, secure, earlyCtr, predictedOff)
+	}
+
 	s.advance(c, write, a.Dep, lat)
 	return lat
+}
+
+// traceFetch records the racing chains of one off-chip access as slices on
+// the core's lane, timestamped in thread cycles from t0 = the L1-miss point.
+func (s *System) traceFetch(c int, now, walkLat, dataLat, fetchEnd uint64, ctrRes secmem.CtrResult, secure, earlyCtr, predictedOff bool) {
+	t0 := now + s.cfg.L1Lat
+	s.tracer.Slice(c, tidFetch, "fetch", "offchip", t0, fetchEnd)
+	s.tracer.Slice(c, tidWalk, "l2+llc walk", "offchip", t0, walkLat)
+	if secure {
+		ctrStart := t0
+		if !earlyCtr {
+			ctrStart += walkLat // serialised behind the walk
+		}
+		name := "ctr+otp"
+		if ctrRes.Hit {
+			name = "ctr hit+otp"
+		}
+		s.tracer.Slice(c, tidCtr, name, "offchip", ctrStart, ctrRes.Latency+s.cfg.MC.AESLat)
+	}
+	dataStart := t0
+	name := "dram (speculative)"
+	if !predictedOff {
+		dataStart += walkLat // issue gated on the LLC miss
+		name = "dram"
+	}
+	s.tracer.Slice(c, tidData, name, "offchip", dataStart, dataLat)
 }
 
 func max64(a, b uint64) uint64 {
@@ -347,7 +441,10 @@ func (s *System) ResetStats() {
 	s.mc.ResetStats()
 }
 
-// Run drives the system from a generator for at most maxAccesses.
+// Run drives the system from a generator for at most maxAccesses. When a
+// sampler is attached, every registered metric is snapshotted each interval
+// boundary and the final partial interval is flushed before the results are
+// computed.
 func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
 	defer trace.CloseIfCloser(gen)
 	for s.accesses < maxAccesses {
@@ -356,6 +453,12 @@ func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
 			break
 		}
 		s.Step(a)
+		if s.sampler != nil {
+			s.sampler.MaybeSample(s.accesses)
+		}
+	}
+	if s.sampler != nil {
+		s.sampler.Flush(s.accesses)
 	}
 	return s.Results(gen.Name())
 }
@@ -380,6 +483,12 @@ type Results struct {
 	CtrMissRate  float64
 	OffChipReads uint64
 	Bypassed     uint64
+	// BypassRate is the fraction of off-chip reads whose L2/LLC walk was
+	// bypassed by an off-chip prediction (Bypassed / OffChipReads).
+	BypassRate float64
+	// AvgFetchLat is the mean off-chip fetch latency in cycles, measured
+	// from the L1-miss point to data ready (FetchLatSum / OffChipReads).
+	AvgFetchLat float64
 
 	Traffic secmem.Traffic
 	DRAM    dram.Stats
@@ -420,6 +529,10 @@ func (s *System) Results(workload string) Results {
 	}
 	if maxCycles > 0 {
 		res.IPC = float64(res.Instructions) / float64(maxCycles)
+	}
+	if s.offChipReads > 0 {
+		res.BypassRate = float64(s.bypassed) / float64(s.offChipReads)
+		res.AvgFetchLat = float64(s.fetchLatSum) / float64(s.offChipReads)
 	}
 	if s.mc.DataPred != nil {
 		st := s.mc.DataPred.Stats

@@ -81,17 +81,33 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quotes elided: our cells
-// never contain commas).
+// CSV renders the table as RFC 4180 comma-separated values: cells containing
+// commas, quotes or newlines are quoted with embedded quotes doubled
+// (telemetry scope names and free-form labels may contain any of them).
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.headers, ","))
-	b.WriteByte('\n')
-	for _, r := range t.rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
 	return b.String()
+}
+
+// csvEscape quotes a cell if it contains a comma, quote, CR or LF.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 func pad(s string, w int) string {

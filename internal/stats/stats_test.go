@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,27 @@ func TestCSV(t *testing.T) {
 	csv := tb.CSV()
 	if csv != "a,b\nx,2\n" {
 		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "metric,with,commas", "value")
+	tb.Row(`say "hi"`, "a,b")
+	tb.Row("multi\nline", "plain")
+	out := tb.CSV()
+	want := "\"metric,with,commas\",value\n" +
+		"\"say \"\"hi\"\"\",\"a,b\"\n" +
+		"\"multi\nline\",plain\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+	// Round-trip through the stdlib reader to prove it re-parses.
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("quoted CSV does not re-parse: %v", err)
+	}
+	if recs[1][0] != `say "hi"` || recs[1][1] != "a,b" {
+		t.Errorf("round-trip row = %v", recs[1])
 	}
 }
 

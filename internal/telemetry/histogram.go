@@ -1,0 +1,66 @@
+package telemetry
+
+import "math/bits"
+
+// HistBuckets is the fixed bucket count of a Histogram. Bucket 0 holds the
+// value 0 and bucket i (i ≥ 1) holds values in [2^(i-1), 2^i), so 63-bit
+// latencies fit without saturation in 64 buckets; we keep 40, enough for
+// ~5·10^11 cycles, and clamp anything above into the last bucket.
+const HistBuckets = 40
+
+// Histogram is a log2-bucketed distribution of uint64 samples (latencies in
+// cycles). Observe is allocation-free and O(1): a fixed array increment, a
+// sum and a max. It is not safe for concurrent use, matching the
+// single-threaded simulator.
+type Histogram struct {
+	counts [HistBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := bits.Len64(v) // 0→0, 1→1, 2..3→2, 4..7→3, ...
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.counts[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample observed (0 if none).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average sample (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Buckets returns a copy of the per-bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]uint64 { return h.counts }
+
+// BucketBounds reports the inclusive value range [lo, hi] covered by bucket
+// i. The last bucket additionally absorbs every larger value.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return 1 << uint(i-1), 1<<uint(i) - 1
+}

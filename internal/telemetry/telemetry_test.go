@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryScopesAndNames(t *testing.T) {
+	r := NewRegistry()
+	var hits, accesses uint64
+	core := r.Scope("core0")
+	l1 := core.Scope("l1")
+	l1.Counter("hits", &hits)
+	l1.RateOf("hit_rate", &hits, &accesses)
+	r.Root().Gauge("ipc", func() float64 { return 1.5 })
+
+	want := []string{"core0.l1.hits", "core0.l1.hit_rate", "ipc"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", r.Len())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var v uint64
+	s := r.Scope("sim")
+	s.Counter("accesses", &v)
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		if msg, ok := p.(string); !ok || !strings.Contains(msg, "sim.accesses") {
+			t.Errorf("panic %v does not name the colliding metric", p)
+		}
+	}()
+	s.Counter("accesses", &v)
+}
+
+func TestRegistryEmptyNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty metric name did not panic")
+		}
+	}()
+	var v uint64
+	r.Root().Counter("", &v)
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Value → expected bucket index: bucket 0 is exactly 0, bucket i holds
+	// [2^(i-1), 2^i).
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11},
+		{1<<11 - 1, 11},
+		{1 << 38, 39},              // last regular bucket
+		{1 << 50, HistBuckets - 1}, // clamped overflow
+		{^uint64(0), HistBuckets - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		b := h.Buckets()
+		for i, n := range b {
+			want := uint64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket[%d] = %d, want %d", c.v, i, n, want)
+			}
+		}
+	}
+}
+
+func TestHistogramBoundsMatchObserve(t *testing.T) {
+	// Every bucket's reported bounds must route back to that bucket.
+	for i := 0; i < HistBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		for _, v := range []uint64{lo, hi} {
+			var h Histogram
+			h.Observe(v)
+			if h.Buckets()[i] != 1 {
+				t.Errorf("bucket %d bounds [%d,%d]: Observe(%d) landed elsewhere", i, lo, hi, v)
+			}
+		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 300} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 330 || h.Max() != 300 {
+		t.Errorf("count/sum/max = %d/%d/%d, want 3/330/300", h.Count(), h.Sum(), h.Max())
+	}
+	if got, want := h.Mean(), 110.0; got != want {
+		t.Errorf("Mean() = %g, want %g", got, want)
+	}
+	var empty Histogram
+	if empty.Mean() != 0 {
+		t.Errorf("empty Mean() = %g, want 0", empty.Mean())
+	}
+}

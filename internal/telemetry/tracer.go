@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one Chrome trace_event entry. Only the fields the viewers
+// need are modelled: complete slices ("X") and metadata records ("M").
+// Timestamps and durations are in the simulator's cycle domain, written into
+// the microsecond fields the Trace Event Format defines — viewers only care
+// about relative magnitudes.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates trace events up to a cap and serialises them as Chrome
+// trace_event JSON ({"traceEvents": [...]}), the format about://tracing and
+// Perfetto load directly. A nil *Tracer is the disabled state; callers guard
+// with one branch. The tracer is not safe for concurrent use.
+type Tracer struct {
+	events  []TraceEvent
+	max     int
+	dropped uint64
+
+	procNames   map[int]string
+	threadNames map[int64]string
+}
+
+// DefaultTraceEvents caps an unconfigured tracer at ~1M slices, roughly
+// 100MB of JSON — enough for hundreds of thousands of off-chip accesses.
+const DefaultTraceEvents = 1 << 20
+
+// NewTracer builds a tracer holding at most maxEvents slices
+// (0 = DefaultTraceEvents). Once full, further slices are counted as
+// dropped but not stored, so a long run degrades to a truncated trace
+// instead of unbounded memory.
+func NewTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultTraceEvents
+	}
+	return &Tracer{
+		max:         maxEvents,
+		procNames:   make(map[int]string),
+		threadNames: make(map[int64]string),
+	}
+}
+
+// Events reports how many slices have been recorded.
+func (t *Tracer) Events() int { return len(t.events) }
+
+// Dropped reports how many slices were discarded after the cap was hit.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// SetProcessName labels a pid lane (e.g. "core0"). Idempotent.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	t.procNames[pid] = name
+}
+
+// SetThreadName labels a (pid, tid) track (e.g. "ctr chain"). Idempotent.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	t.threadNames[int64(pid)<<32|int64(uint32(tid))] = name
+}
+
+// Slice records one complete event: a named span [ts, ts+dur) on track
+// (pid, tid).
+func (t *Tracer) Slice(pid, tid int, name, cat string, ts, dur uint64) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid,
+	})
+}
+
+// Instant records a zero-duration marker on track (pid, tid).
+func (t *Tracer) Instant(pid, tid int, name, cat string, ts uint64) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: pid, Tid: tid,
+		Args: map[string]any{"s": "t"},
+	})
+}
+
+// WriteJSON serialises the trace. Metadata events (process/thread names)
+// come first, then every slice in record order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev TraceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+
+	// Deterministic metadata order: pids ascending, then tids.
+	for _, pid := range sortedKeysInt(t.procNames) {
+		if err := emit(TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": t.procNames[pid]},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeysInt64(t.threadNames) {
+		if err := emit(TraceEvent{
+			Name: "thread_name", Ph: "M",
+			Pid:  int(key >> 32),
+			Tid:  int(int32(key)),
+			Args: map[string]any{"name": t.threadNames[key]},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.events {
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	suffix := "\n]}"
+	if t.dropped > 0 {
+		suffix = fmt.Sprintf("\n],\"otherData\":{\"dropped\":%d}}", t.dropped)
+	}
+	_, err := io.WriteString(w, suffix)
+	return err
+}
+
+func sortedKeysInt(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortedKeysInt64(m map[int64]string) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// Tiny insertion sorts: key sets are a handful of cores × chains; avoids
+// pulling sort.Slice's reflection into the package for them.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds the reference trace: two cores, the standard chain
+// tracks, one off-chip access on each core plus an instant marker.
+func goldenTrace() *Tracer {
+	tr := NewTracer(0)
+	for pid := 0; pid < 2; pid++ {
+		tr.SetProcessName(pid, "core"+string(rune('0'+pid)))
+		tr.SetThreadName(pid, 0, "fetch")
+		tr.SetThreadName(pid, 1, "walk")
+		tr.SetThreadName(pid, 2, "ctr")
+		tr.SetThreadName(pid, 3, "data")
+	}
+	tr.Slice(0, 0, "fetch", "offchip", 100, 260)
+	tr.Slice(0, 1, "l2+llc walk", "offchip", 100, 148)
+	tr.Slice(0, 2, "ctr+otp", "offchip", 100, 110)
+	tr.Slice(0, 3, "dram (speculative)", "offchip", 100, 102)
+	tr.Slice(1, 0, "fetch", "offchip", 500, 300)
+	tr.Slice(1, 3, "dram", "offchip", 648, 102)
+	tr.Instant(1, 0, "wasted fetch", "offchip", 700)
+	return tr
+}
+
+func TestTracerGoldenJSON(t *testing.T) {
+	var out strings.Builder
+	if err := goldenTrace().WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	path := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace JSON diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTracerJSONShape(t *testing.T) {
+	var out strings.Builder
+	if err := goldenTrace().WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	// The file must be one JSON object with a traceEvents array — the
+	// shape about://tracing and Perfetto ingest.
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	// 2 process_name + 8 thread_name metadata + 7 recorded events.
+	if len(doc.TraceEvents) != 17 {
+		t.Fatalf("got %d events, want 17", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Name != "process_name" {
+		t.Errorf("first event = %+v, want process_name metadata", doc.TraceEvents[0])
+	}
+	var slices, metas, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur == 0 {
+				t.Errorf("slice %q has zero duration", ev.Name)
+			}
+		case "M":
+			metas++
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices != 6 || metas != 10 || instants != 1 {
+		t.Errorf("slices/metas/instants = %d/%d/%d, want 6/10/1", slices, metas, instants)
+	}
+}
+
+func TestTracerCapDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Slice(0, 0, "s", "c", uint64(i), 1)
+	}
+	if tr.Events() != 2 {
+		t.Errorf("Events() = %d, want 2", tr.Events())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", tr.Dropped())
+	}
+	var out strings.Builder
+	if err := tr.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("capped trace is not valid JSON: %v", err)
+	}
+	other, ok := doc["otherData"].(map[string]any)
+	if !ok || other["dropped"].(float64) != 3 {
+		t.Errorf("otherData.dropped missing or wrong: %v", doc["otherData"])
+	}
+}
+
+func TestTracerEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := NewTracer(0).WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, out.String())
+	}
+}
