@@ -32,7 +32,10 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t := e.Run(lab)
+		t, err := e.Run(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if t.String() == "" {
 			b.Fatal("empty table")
 		}

@@ -5,36 +5,51 @@
 //	cosmos-bench -list                 # available experiment ids
 //
 // Runs are memoised within one invocation, so composite sweeps (fig10-14
-// share the same simulations) cost each configuration once.
+// share the same simulations) cost each configuration once. With
+// -results-dir every completed simulation is also persisted to disk, so an
+// interrupted campaign rerun with the same directory executes only the
+// missing cells. SIGINT/SIGTERM (and -timeout) cancel mid-simulation and
+// the run drains gracefully, keeping everything finished so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"cosmos/internal/experiments"
+	"cosmos/internal/runner"
 	"cosmos/internal/sim"
 	"cosmos/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("cosmos-bench: ")
 
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig2..fig17, tab1..tab4, abl-*, all)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction, 0 = smoke)")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		out   = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
-		par   = flag.Int("parallel", runtime.NumCPU(), "workers for the evaluation-matrix prewarm (-exp all)")
+		exp     = flag.String("exp", "all", "experiment id (fig2..fig17, tab1..tab4, abl-*, all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction, 0 = smoke)")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		out     = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
+		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
+		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
+		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
 
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -45,6 +60,18 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	// First SIGINT/SIGTERM cancels the campaign context: in-flight
+	// simulations stop within sim.CancelCheckEvery steps, completed cells
+	// stay persisted, and the summary below still prints. A second signal
+	// kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -57,31 +84,74 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	}
 
-	lab := experiments.NewLab(experiments.Scaled(*scale))
+	lopts := []experiments.LabOption{
+		experiments.WithContext(ctx),
+		experiments.WithWorkers(*par),
+	}
+	if *results != "" {
+		st, err := runner.OpenStore(*results)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if n := st.Len(); n > 0 {
+			log.Printf("results dir %s holds %d completed runs; resuming", st.Dir(), n)
+		}
+		lopts = append(lopts, experiments.WithStore(st))
+	}
+	lab := experiments.NewLab(experiments.Scaled(*scale), lopts...)
 	lab.Instrument = instrumentHook(*statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit)
 
-	run := func(e experiments.Experiment) {
+	code := 0
+	// The summary prints on every exit path — including interrupts — so a
+	// resumed campaign (and the CI smoke check) can assert how much work
+	// actually ran versus came from the results dir.
+	defer func() {
+		st := lab.Orchestrator().Stats()
+		fmt.Printf("executed %d simulations (%d restored from results dir, %d memoised, %d deduplicated, %d failed)\n",
+			st.Executed, st.Restored, st.Memoised, st.Deduplicated, st.Failed)
+		if st.Executed > 0 {
+			fmt.Printf("simulation wall time %.1fs, worker queue wait %.1fs\n",
+				st.ExecTime.Seconds(), st.QueueWait.Seconds())
+		}
+	}()
+
+	runExp := func(e experiments.Experiment) bool {
 		start := time.Now()
-		t := e.Run(lab)
+		t, err := e.Run(lab)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				log.Printf("%s: campaign interrupted: %v", e.ID, err)
+			} else {
+				log.Printf("%s: %v", e.ID, err)
+			}
+			code = 1
+			return false
+		}
 		if *out != "" {
 			path := filepath.Join(*out, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				code = 1
+				return false
 			}
 		}
 		if *csv {
@@ -91,24 +161,32 @@ func main() {
 			t.Write(os.Stdout)
 			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
+		return true
 	}
 
 	if *exp == "all" {
 		if *par > 1 {
 			start := time.Now()
-			experiments.Prewarm(lab, *par)
+			if err := experiments.Prewarm(lab); err != nil {
+				log.Printf("prewarm: %v", err)
+				return 1
+			}
 			fmt.Printf("(prewarmed evaluation matrix with %d workers in %.1fs)\n\n", *par, time.Since(start).Seconds())
 		}
 		for _, e := range experiments.All() {
-			run(e)
+			if !runExp(e) {
+				break
+			}
 		}
-		return
+		return code
 	}
 	e, err := experiments.ByID(*exp)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
-	run(e)
+	runExp(e)
+	return code
 }
 
 // instrumentHook builds the Lab.Instrument callback attaching telemetry to

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,8 +17,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
@@ -44,6 +47,7 @@ func main() {
 		ctrBytes  = flag.Int("ctr-cache", 0, "CTR cache bytes per core (0 = Table 3 default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -53,6 +57,17 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM (or -timeout) stop the simulation within
+	// sim.CancelCheckEvery steps; the metrics accumulated so far still
+	// print, flagged as partial.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -146,7 +161,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	r := s.Run(trace.Limit(gen, *accesses), *accesses)
+	r, runErr := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
+	if runErr != nil {
+		log.Printf("simulation stopped after %d of %d accesses: %v (results below are partial)",
+			r.Accesses, *accesses, runErr)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -7,12 +7,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"cosmos/internal/memsys"
 	"cosmos/internal/stats"
@@ -34,6 +37,12 @@ func main() {
 		export   = flag.String("export", "", "write the sampled accesses to a trace file (.trc or .trc.gz) instead of profiling")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the sampling loop; the profile of the accesses
+	// gathered so far still prints.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	done := ctx.Done()
 
 	gen, err := workloads.Build(*workload, workloads.Options{
 		Threads: 4, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
@@ -61,7 +70,16 @@ func main() {
 		lastByThread  = map[uint8]uint64{}
 		seq, jumps    uint64
 	)
+sampling:
 	for i := uint64(0); i < *accesses; i++ {
+		if i&4095 == 0 {
+			select {
+			case <-done:
+				log.Printf("interrupted after %d accesses; profiling what was sampled", i)
+				break sampling
+			default:
+			}
+		}
 		a, ok := gen.Next()
 		if !ok {
 			break

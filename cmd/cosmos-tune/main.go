@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"cosmos/internal/core"
 	"cosmos/internal/experiments"
@@ -39,14 +43,23 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM stop the search between (or mid-) trials; the ranking
+	// over the trials completed so far still prints.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	rng := rl.NewRand(*seed)
 	type result struct {
 		desc    string
 		hitRate float64
 	}
 	var results []result
+	interrupted := false
 
 	evaluate := func(p core.Params, desc string) {
+		if interrupted {
+			return
+		}
 		gen, err := workloads.Build(*workload, workloads.Options{
 			Threads: 4, Seed: 42,
 			GraphNodes:  experiments.SmallScale().GraphNodes,
@@ -58,7 +71,12 @@ func main() {
 		cfg := sim.DefaultConfig()
 		cfg.MC.Params = p
 		s := sim.New(cfg, secmem.DesignCosmos())
-		r := s.Run(trace.Limit(gen, *accesses), *accesses)
+		r, err := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
+		if err != nil {
+			log.Printf("search interrupted: %v (ranking the %d completed trials)", err, len(results))
+			interrupted = true
+			return
+		}
 		results = append(results, result{desc: desc, hitRate: 1 - r.CtrMissRate})
 	}
 

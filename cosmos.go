@@ -5,17 +5,25 @@
 //
 // The package offers three layers:
 //
-//   - Simulation: Run executes a workload on a secure-memory design point
-//     (non-protected, MorphCtr, EMCC-like, COSMOS variants) over the
-//     paper's 4-core machine and returns the full metric set (IPC, CTR
-//     cache behaviour, DRAM traffic decomposition, SMAT).
+//   - Simulation: Run / RunContext execute a workload on a secure-memory
+//     design point (non-protected, MorphCtr, EMCC-like, COSMOS variants)
+//     over the paper's 4-core machine and return the full metric set (IPC,
+//     CTR cache behaviour, DRAM traffic decomposition, SMAT).
 //
-//   - Experiments: Experiments and RunExperiment regenerate the paper's
-//     tables and figures at a chosen scale.
+//   - Experiments: Experiments, RunExperiment and RunExperimentContext
+//     regenerate the paper's tables and figures at a chosen scale, with
+//     optional parallelism, persistent result storage (campaign resume)
+//     and progress reporting.
 //
 //   - Functional secure memory: NewSecureMemory exposes a bit-accurate
 //     AES-CTR + MAC + Merkle-tree protected memory with real tamper and
 //     replay detection, the substrate the timing model abstracts.
+//
+// Every simulation flows through one run orchestrator: identical specs are
+// deduplicated and memoised, results are deterministic (equal specs give
+// bit-identical Results regardless of concurrency or caching), and
+// cancellation through a context lands mid-simulation within a bounded
+// number of steps.
 //
 // Quickstart:
 //
@@ -24,15 +32,18 @@
 package cosmos
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"cosmos/internal/ctr"
 	"cosmos/internal/enclave"
 	"cosmos/internal/experiments"
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/stats"
-	"cosmos/internal/trace"
 	"cosmos/internal/workloads"
 )
 
@@ -47,7 +58,7 @@ type RunSpec struct {
 	// Transformer, DLRM).
 	Workload string
 	// Design is one of Designs(): NP, MorphCtr, EMCC, Morph@L1,
-	// COSMOS-DP, COSMOS-CP, COSMOS.
+	// COSMOS-DP, COSMOS-CP, COSMOS, RMCC.
 	Design string
 	// Accesses caps the simulation length (default 1,000,000).
 	Accesses uint64
@@ -61,16 +72,49 @@ type RunSpec struct {
 	Seed uint64
 }
 
-// Workloads lists every runnable workload name.
+// Workloads lists every runnable workload name. The order is stable across
+// releases: graph algorithms first, then the SPEC-like kernels, then the ML
+// models — the order tables and sweeps iterate in.
 func Workloads() []string { return workloads.AllNames() }
 
-// Designs lists every design point name.
+// Designs lists every design point name, derived from the same registry
+// that backs design resolution in Run — a design cannot appear here without
+// being runnable, nor the reverse. The order is stable: baselines first
+// (NP, MorphCtr, EMCC, Morph@L1), then the COSMOS variants (COSMOS-DP,
+// COSMOS-CP, COSMOS), then the related-work point (RMCC).
 func Designs() []string {
-	return []string{"NP", "MorphCtr", "EMCC", "Morph@L1", "COSMOS-DP", "COSMOS-CP", "COSMOS", "RMCC"}
+	all := secmem.AllDesigns()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.Name
+	}
+	return out
 }
 
-// Run simulates one workload on one design and returns the metrics.
+// orchestrator is the package-level run orchestrator behind Run and
+// RunContext: repeated calls with equal specs are memoised and concurrent
+// duplicates coalesce onto one simulation.
+var (
+	orchOnce sync.Once
+	orch     *runner.Orchestrator
+)
+
+func orchestrator() *runner.Orchestrator {
+	orchOnce.Do(func() { orch = runner.New(runner.Options{}) })
+	return orch
+}
+
+// Run simulates one workload on one design and returns the metrics. It is
+// RunContext with a background context.
 func Run(spec RunSpec) (Results, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext simulates one workload on one design under ctx: on
+// cancellation the simulation stops within a bounded number of steps and
+// the error wraps ctx.Err(). Identical specs — including across concurrent
+// callers — execute one simulation and share its (bit-identical) Results.
+func RunContext(ctx context.Context, spec RunSpec) (Results, error) {
 	if spec.Accesses == 0 {
 		spec.Accesses = 1_000_000
 	}
@@ -84,25 +128,15 @@ func Run(spec RunSpec) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
-	gen, err := workloads.Build(spec.Workload, workloads.Options{
-		Threads:     spec.Cores,
-		Seed:        spec.Seed,
+	return orchestrator().Run(ctx, runner.Spec{
+		Workload:    spec.Workload,
+		Design:      design,
+		Cores:       spec.Cores,
+		Accesses:    spec.Accesses,
 		GraphNodes:  spec.GraphNodes,
 		GraphDegree: spec.GraphDegree,
+		Seed:        spec.Seed,
 	})
-	if err != nil {
-		return Results{}, err
-	}
-	cfg := sim.DefaultConfig()
-	if spec.Cores == 8 {
-		cfg = sim.EightCore()
-	} else {
-		cfg.Cores = spec.Cores
-	}
-	cfg.MC.Seed = spec.Seed
-	cfg.MC.Params.Seed = spec.Seed
-	s := sim.New(cfg, design)
-	return s.Run(trace.Limit(gen, spec.Accesses), spec.Accesses), nil
 }
 
 // Compare runs the same workload under two designs and returns the speedup
@@ -131,14 +165,79 @@ func Experiments() []string {
 	return out
 }
 
+// RunUpdate reports one completed simulation request of an experiment
+// campaign to the ExperimentOpts.Progress callback.
+type RunUpdate struct {
+	// Label identifies the run (workload, design and tweaks).
+	Label string
+	// Source says where the result came from: "executed", "memoised",
+	// "restored" (from ResultsDir) or "deduplicated" (coalesced onto an
+	// identical in-flight run).
+	Source string
+	// QueueWait / ExecTime are non-zero for executed runs only.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	// Err is non-nil when this run failed (the campaign then drains and
+	// RunExperimentContext returns the first such error).
+	Err error
+}
+
+// ExperimentOpts configures RunExperimentContext.
+type ExperimentOpts struct {
+	// Scale sizes the campaign: 1.0 is the full reproduction, smaller
+	// values trade fidelity for speed (0 = smoke scale).
+	Scale float64
+	// Workers bounds concurrent simulations (0 = number of CPUs).
+	Workers int
+	// ResultsDir, when non-empty, persists every executed simulation to
+	// that directory and consults it first, so a killed campaign rerun
+	// with the same directory executes only the missing cells.
+	ResultsDir string
+	// Progress, when non-nil, receives a RunUpdate per completed
+	// simulation request. It may be called concurrently.
+	Progress func(RunUpdate)
+}
+
 // RunExperiment regenerates one paper table or figure. scale 1.0 is the
 // full reproduction; smaller values trade fidelity for speed (0 = smoke).
+// It is RunExperimentContext with a background context and default options.
 func RunExperiment(id string, scale float64) (*stats.Table, error) {
+	return RunExperimentContext(context.Background(), id, ExperimentOpts{Scale: scale})
+}
+
+// RunExperimentContext regenerates one paper table or figure under ctx.
+// Simulation failures — a cancelled context, a bad workload, a panicking
+// model component — surface as the returned error instead of a partial
+// table.
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOpts) (*stats.Table, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(experiments.NewLab(experiments.Scaled(scale))), nil
+	lopts := []experiments.LabOption{experiments.WithContext(ctx)}
+	if opts.Workers > 0 {
+		lopts = append(lopts, experiments.WithWorkers(opts.Workers))
+	}
+	if opts.ResultsDir != "" {
+		st, err := runner.OpenStore(opts.ResultsDir)
+		if err != nil {
+			return nil, err
+		}
+		lopts = append(lopts, experiments.WithStore(st))
+	}
+	if p := opts.Progress; p != nil {
+		lopts = append(lopts, experiments.WithObserver(func(ev runner.Event) {
+			p(RunUpdate{
+				Label:     ev.Label,
+				Source:    ev.Source.String(),
+				QueueWait: ev.QueueWait,
+				ExecTime:  ev.ExecTime,
+				Err:       ev.Err,
+			})
+		}))
+	}
+	l := experiments.NewLab(experiments.Scaled(opts.Scale), lopts...)
+	return e.Run(l)
 }
 
 // SecureMemory is the functional AES-CTR + MAC + Merkle-tree protected

@@ -1,8 +1,11 @@
 package cosmos
 
 import (
+	"context"
 	"errors"
 	"testing"
+
+	"cosmos/internal/secmem"
 )
 
 func TestRunBasic(t *testing.T) {
@@ -46,6 +49,71 @@ func TestRegistriesNonEmpty(t *testing.T) {
 	}
 	if len(Experiments()) != 26 {
 		t.Fatalf("experiments: %v", Experiments())
+	}
+}
+
+// TestDesignsMatchRegistry pins the public design list to the internal
+// registry: every listed name resolves, every registered design is listed.
+func TestDesignsMatchRegistry(t *testing.T) {
+	names := Designs()
+	all := secmem.AllDesigns()
+	if len(names) != len(all) {
+		t.Fatalf("Designs lists %d names, registry has %d", len(names), len(all))
+	}
+	for i, d := range all {
+		if names[i] != d.Name {
+			t.Errorf("Designs[%d] = %s, registry has %s", i, names[i], d.Name)
+		}
+		resolved, err := secmem.DesignByName(names[i])
+		if err != nil {
+			t.Errorf("Designs lists unresolvable %q: %v", names[i], err)
+		} else if resolved.Name != names[i] {
+			t.Errorf("DesignByName(%q).Name = %q", names[i], resolved.Name)
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunSpec{Workload: "mcf", Design: "NP", Accesses: 30_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunExperimentContextResume(t *testing.T) {
+	dir := t.TempDir()
+	var executed, restored int
+	opts := ExperimentOpts{ResultsDir: dir, Progress: func(u RunUpdate) {
+		switch u.Source {
+		case "executed":
+			executed++
+		case "restored":
+			restored++
+		}
+	}}
+	a, err := RunExperimentContext(context.Background(), "fig2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed == 0 {
+		t.Fatal("first campaign should execute simulations")
+	}
+
+	executed, restored = 0, 0
+	b, err := RunExperimentContext(context.Background(), "fig2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("resumed campaign executed %d simulations, want 0", executed)
+	}
+	if restored == 0 {
+		t.Fatal("resumed campaign restored nothing")
+	}
+	if a.String() != b.String() {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", a, b)
 	}
 }
 

@@ -24,6 +24,9 @@ func AblLayout(l *Lab) *stats.Table {
 	t := stats.NewTable("Ablation: heap-scattered vs packed CSR layout (DFS, MorphCtr)",
 		"layout", "ctr-miss", "llc-miss", "mt-reads")
 	for _, scattered := range []bool{true, false} {
+		if l.Err() != nil {
+			break
+		}
 		g := cachedGraphForLab(l)
 		var w *graph.Workspace
 		name := "packed-CSR"
@@ -33,11 +36,17 @@ func AblLayout(l *Lab) *stats.Table {
 		} else {
 			w = graph.NewPackedWorkspace(g, 4, 1<<30)
 		}
+		// The packed workspace has no workloads.Build name, so this cell
+		// bypasses the orchestrator; it still honours the lab's context.
 		gen, _ := graph.DFS(w, l.Scale.Seed)
 		cfg := sim.DefaultConfig()
 		cfg.MC.Seed = l.Scale.Seed
 		s := sim.New(cfg, secmem.DesignMorph())
-		r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+		r, err := s.RunContext(l.ctx, trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+		if err != nil {
+			l.fail(fmt.Errorf("experiments: abl-layout %s: %w", name, err))
+			break
+		}
 		t.Row(name, stats.Pct(r.CtrMissRate), stats.Pct(r.LLCMissRate), r.Traffic.MTRead)
 	}
 	return t
@@ -67,19 +76,14 @@ func AblTraversal(l *Lab) *stats.Table {
 	t := stats.NewTable("Ablation: MT traversal accounting (DFS, MorphCtr)",
 		"mode", "mt-reads", "total-traffic", "cycles")
 	for _, full := range []bool{false, true} {
-		gen, err := buildWorkload(l, "DFS", 4)
-		if err != nil {
-			panic(err)
-		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Seed = l.Scale.Seed
 		cfg.MC.FullTraversal = full
-		s := sim.New(cfg, secmem.DesignMorph())
-		r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
 		name := "stop-at-hit"
 		if full {
 			name = "full-traversal"
 		}
+		r := l.runCfg("DFS", "DFS_MorphCtr_"+name, secmem.DesignMorph(), cfg, l.Scale.Accesses)
 		t.Row(name, r.Traffic.MTRead, r.Traffic.Total(), r.Cycles)
 	}
 	return t
@@ -113,7 +117,8 @@ func AblQuantization(l *Lab) *stats.Table {
 	dp := core.NewDataPredictor(p)
 	gen, err := buildWorkload(l, "DFS", 4)
 	if err != nil {
-		panic(err)
+		l.fail(fmt.Errorf("experiments: abl-quant: %w", err))
+		return t
 	}
 	defer trace.CloseIfCloser(gen)
 	n := l.Scale.Accesses / 4
@@ -165,19 +170,16 @@ func AblMEE(l *Lab) *stats.Table {
 	t := stats.NewTable("Ablation: Bonsai/MorphCtr metadata vs SGX-MEE-style tree (DFS, MorphCtr)",
 		"organisation", "ctr-miss", "mt-reads", "total-traffic", "cycles")
 	for _, mee := range []bool{false, true} {
-		gen, err := buildWorkload(l, "DFS", 4)
-		if err != nil {
-			panic(err)
-		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Seed = l.Scale.Seed
 		cfg.MC.MEETree = mee
-		s := sim.New(cfg, secmem.DesignMorph())
-		r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
 		name := "Bonsai + MorphCtr (1:128)"
+		label := "DFS_MorphCtr_bonsai"
 		if mee {
 			name = "SGX-MEE style (1:8)"
+			label = "DFS_MorphCtr_mee"
 		}
+		r := l.runCfg("DFS", label, secmem.DesignMorph(), cfg, l.Scale.Accesses)
 		t.Row(name, stats.Pct(r.CtrMissRate), r.Traffic.MTRead, r.Traffic.Total(), r.Cycles)
 	}
 	return t
@@ -191,17 +193,13 @@ func AblHyper(l *Lab) *stats.Table {
 		"alpha_C", "gamma_C", "ctr-hit")
 	for _, alpha := range []float64{0.01, 0.05, 0.2, 0.8} {
 		for _, gamma := range []float64{0.05, 0.35, 0.9} {
-			gen, err := buildWorkload(l, "DFS", 4)
-			if err != nil {
-				panic(err)
-			}
 			cfg := sim.DefaultConfig()
 			cfg.MC.Seed = l.Scale.Seed
 			cfg.MC.Params.Seed = l.Scale.Seed
 			cfg.MC.Params.Ctr.Alpha = alpha
 			cfg.MC.Params.Ctr.Gamma = gamma
-			s := sim.New(cfg, secmem.DesignCosmos())
-			r := s.Run(trace.Limit(gen, l.Scale.Accesses/2), l.Scale.Accesses/2)
+			label := fmt.Sprintf("DFS_COSMOS_a%g_g%g", alpha, gamma)
+			r := l.runCfg("DFS", label, secmem.DesignCosmos(), cfg, l.Scale.Accesses/2)
 			t.Row(alpha, gamma, stats.Pct(1-r.CtrMissRate))
 		}
 	}
@@ -228,14 +226,9 @@ func ExtEPC(l *Lab) *stats.Table {
 	t := stats.NewTable("Extension: SGXv1-style secure-region size sweep (DFS)",
 		"region", "Morph-vs-NP", "COSMOS-vs-NP", "COSMOS-gain")
 	np := func() uint64 {
-		gen, err := buildWorkload(l, "DFS", 4)
-		if err != nil {
-			panic(err)
-		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Seed = l.Scale.Seed
-		s := sim.New(cfg, secmem.DesignNP())
-		return s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses).Cycles
+		return l.runCfg("DFS", "DFS_NP_epc", secmem.DesignNP(), cfg, l.Scale.Accesses).Cycles
 	}()
 	// Workload heaps start at 1GB; the bound is the EPC's top, so a
 	// region of 1GB+128MB protects the first 128MB of the heap.
@@ -243,20 +236,19 @@ func ExtEPC(l *Lab) *stats.Table {
 	for _, region := range []uint64{heapBase + 128<<20, heapBase + 1<<30, 0} {
 		var cyc [2]uint64
 		for i, d := range []secmem.Design{secmem.DesignMorph(), secmem.DesignCosmos()} {
-			gen, err := buildWorkload(l, "DFS", 4)
-			if err != nil {
-				panic(err)
-			}
 			cfg := sim.DefaultConfig()
 			cfg.MC.Seed = l.Scale.Seed
 			cfg.MC.Params.Seed = l.Scale.Seed
 			cfg.MC.SecureRegionBytes = region
-			s := sim.New(cfg, d)
-			cyc[i] = s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses).Cycles
+			label := fmt.Sprintf("DFS_%s_region%d", d.Name, region)
+			cyc[i] = l.runCfg("DFS", label, d, cfg, l.Scale.Accesses).Cycles
 		}
 		name := "all memory"
 		if region != 0 {
 			name = memsys.Bytes(region-heapBase) + " of heap"
+		}
+		if cyc[0] == 0 || cyc[1] == 0 {
+			break // a run failed; Experiment.Run reports the lab's error
 		}
 		m := float64(np) / float64(cyc[0])
 		c := float64(np) / float64(cyc[1])

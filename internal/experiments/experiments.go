@@ -1,22 +1,26 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation: each Fig*/Tab* function runs the required simulations and
-// renders the same rows/series the paper reports. Results are memoised per
-// (workload, design, configuration) so composite figures share runs.
+// renders the same rows/series the paper reports.
+//
+// All simulations flow through the internal/runner orchestrator: results
+// are memoised and deduplicated per canonical spec hash so composite
+// figures share runs, a Lab built WithStore resumes a killed campaign from
+// disk, and a Lab built WithContext aborts mid-simulation on cancellation.
 //
 // Absolute numbers differ from the paper's gem5 testbed; EXPERIMENTS.md
 // records measured-vs-paper values and the shape checks.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/stats"
-	"cosmos/internal/trace"
-	"cosmos/internal/workloads"
 )
 
 // Scale sizes the experiments: the full scale reproduces the paper's
@@ -76,7 +80,15 @@ func Scaled(factor float64) Scale {
 	return d
 }
 
-// Lab runs and memoises simulations for one Scale.
+// Lab runs simulations for one Scale through the shared run orchestrator:
+// results are memoised and singleflight-deduplicated per canonical spec
+// hash, optionally persisted to a results directory for resume, and every
+// simulation honours the lab's context.
+//
+// A Lab accumulates the first error any of its simulations hits (including
+// cancellation); once failed, subsequent runs short-circuit so a cancelled
+// campaign drains within a bounded number of simulation steps. Experiment.Run
+// surfaces that error.
 type Lab struct {
 	Scale Scale
 
@@ -88,14 +100,92 @@ type Lab struct {
 	// there. Instrument may be called concurrently from Prewarm workers.
 	Instrument func(label string, s *sim.System) func()
 
-	mu    sync.Mutex
-	cache map[string]sim.Results
+	ctx  context.Context
+	orch *runner.Orchestrator
+
+	mu  sync.Mutex
+	err error
+}
+
+// LabOption configures NewLab.
+type LabOption func(*labOptions)
+
+type labOptions struct {
+	ctx      context.Context
+	workers  int
+	store    *runner.Store
+	observer func(runner.Event)
+}
+
+// WithContext binds every simulation the lab runs to ctx: on cancellation
+// the in-flight simulation stops within sim.CancelCheckEvery steps and all
+// subsequent runs short-circuit.
+func WithContext(ctx context.Context) LabOption {
+	return func(o *labOptions) { o.ctx = ctx }
+}
+
+// WithWorkers bounds the lab's concurrent simulations (default: NumCPU).
+func WithWorkers(n int) LabOption {
+	return func(o *labOptions) { o.workers = n }
+}
+
+// WithStore persists every executed simulation into st and consults it
+// before executing, so a second lab over the same directory resumes the
+// campaign executing only the missing cells.
+func WithStore(st *runner.Store) LabOption {
+	return func(o *labOptions) { o.store = st }
+}
+
+// WithObserver forwards every completed run request (source, queue wait,
+// execution time, error) to f. May be called concurrently.
+func WithObserver(f func(runner.Event)) LabOption {
+	return func(o *labOptions) { o.observer = f }
 }
 
 // NewLab creates a result-sharing experiment context.
-func NewLab(sc Scale) *Lab {
-	return &Lab{Scale: sc, cache: make(map[string]sim.Results)}
+func NewLab(sc Scale, opts ...LabOption) *Lab {
+	o := labOptions{ctx: context.Background()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	l := &Lab{Scale: sc, ctx: o.ctx}
+	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store})
+	l.orch.Observer = o.observer
+	l.orch.Instrument = func(label string, s *sim.System) func() {
+		if f := l.Instrument; f != nil {
+			return f(label, s)
+		}
+		return nil
+	}
+	return l
 }
+
+// Orchestrator exposes the lab's run orchestrator (stats, telemetry
+// registration, store access).
+func (l *Lab) Orchestrator() *runner.Orchestrator { return l.orch }
+
+// Err returns the first error any of the lab's simulations produced (nil
+// while everything has succeeded).
+func (l *Lab) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// fail records the first error; later errors are dropped.
+func (l *Lab) fail(err error) {
+	if err == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// canceled reports whether the lab's context has ended.
+func (l *Lab) canceled() bool { return l.ctx.Err() != nil }
 
 // runOpts tweaks one simulation beyond the design defaults.
 type runOpts struct {
@@ -105,19 +195,12 @@ type runOpts struct {
 	ctrPf     string
 }
 
-// run executes (or recalls) one workload × design simulation.
-func (l *Lab) run(workload string, design secmem.Design, opt runOpts) sim.Results {
+// spec translates (workload, design, opt) at the lab's scale into the
+// orchestrator's canonical run spec.
+func (l *Lab) spec(workload string, design secmem.Design, opt runOpts) runner.Spec {
 	if opt.cores == 0 {
 		opt.cores = 4
 	}
-	key := fmt.Sprintf("%s|%s|%+v", workload, design.Name, opt)
-	l.mu.Lock()
-	if r, ok := l.cache[key]; ok {
-		l.mu.Unlock()
-		return r
-	}
-	l.mu.Unlock()
-
 	if opt.ctrBytes != 0 {
 		design.CtrCacheBytes = opt.ctrBytes
 	}
@@ -127,65 +210,53 @@ func (l *Lab) run(workload string, design secmem.Design, opt runOpts) sim.Result
 	if opt.ctrPf != "" {
 		design.CtrPrefetcher = opt.ctrPf
 	}
-
-	cfg := sim.DefaultConfig()
-	if opt.cores == 8 {
-		cfg = sim.EightCore()
-	} else {
-		cfg.Cores = opt.cores
-	}
-	cfg.MC.Seed = l.Scale.Seed
-	cfg.MC.Params.Seed = l.Scale.Seed
-
-	gen, err := workloads.Build(workload, workloads.Options{
-		Threads:     opt.cores,
-		Seed:        l.Scale.Seed,
+	return runner.Spec{
+		Workload:    workload,
+		Design:      design,
+		Cores:       opt.cores,
+		Accesses:    l.Scale.Accesses,
 		GraphNodes:  l.Scale.GraphNodes,
 		GraphDegree: l.Scale.GraphDegree,
-	})
-	if err != nil {
-		panic(err) // workload names are internal constants
+		Seed:        l.Scale.Seed,
 	}
-	s := sim.New(cfg, design)
-	if l.Instrument != nil {
-		if cleanup := l.Instrument(runLabel(workload, design.Name, opt), s); cleanup != nil {
-			defer cleanup()
-		}
-	}
-	r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+}
 
-	l.mu.Lock()
-	l.cache[key] = r
-	l.mu.Unlock()
+// runSpec executes (or recalls) one simulation through the orchestrator.
+// On failure the error is recorded on the lab and zero Results return; the
+// table generator keeps going but Experiment.Run discards its output.
+func (l *Lab) runSpec(spec runner.Spec) sim.Results {
+	if l.Err() != nil {
+		return sim.Results{}
+	}
+	r, err := l.orch.Run(l.ctx, spec)
+	if err != nil {
+		l.fail(err)
+		return sim.Results{}
+	}
 	return r
 }
 
-// runLabel builds a filename-safe identifier for one simulation: workload
-// and design, plus any non-default option tweaks.
-func runLabel(workload, design string, opt runOpts) string {
-	label := workload + "_" + design
-	if opt.cores != 0 && opt.cores != 4 {
-		label += fmt.Sprintf("_c%d", opt.cores)
-	}
-	if opt.ctrBytes != 0 {
-		label += fmt.Sprintf("_ctr%dk", opt.ctrBytes>>10)
-	}
-	if opt.ctrPolicy != "" {
-		label += "_" + opt.ctrPolicy
-	}
-	if opt.ctrPf != "" {
-		label += "_" + opt.ctrPf
-	}
-	var b []byte
-	for _, r := range label {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
-			b = append(b, byte(r))
-		default:
-			b = append(b, '-')
-		}
-	}
-	return string(b)
+// run executes (or recalls) one workload × design simulation.
+func (l *Lab) run(workload string, design secmem.Design, opt runOpts) sim.Results {
+	return l.runSpec(l.spec(workload, design, opt))
+}
+
+// runCfg executes one simulation under a fully custom machine configuration
+// (the ablation studies): cfg is hashed into the run's identity, so these
+// cells memoise, deduplicate and resume exactly like the standard ones.
+// label names the run for progress and telemetry files.
+func (l *Lab) runCfg(workload, label string, design secmem.Design, cfg sim.Config, accesses uint64) sim.Results {
+	return l.runSpec(runner.Spec{
+		Workload:    workload,
+		Design:      design,
+		Cores:       cfg.Cores,
+		Accesses:    accesses,
+		GraphNodes:  l.Scale.GraphNodes,
+		GraphDegree: l.Scale.GraphDegree,
+		Seed:        l.Scale.Seed,
+		Config:      &cfg,
+		Label:       label,
+	})
 }
 
 // perf returns performance normalised to the non-protected system
@@ -211,11 +282,30 @@ func (l *Lab) Run(workload string, design secmem.Design) sim.Results {
 	return l.run(workload, design, runOpts{})
 }
 
-// Experiment binds an id to its generator.
+// Experiment binds an id to its table generator.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(l *Lab) *stats.Table
+	// Gen renders the experiment's table from the lab. Generators report
+	// simulation failures through the lab (they never panic on them);
+	// Experiment.Run is the error-aware entry point.
+	Gen func(l *Lab) *stats.Table
+}
+
+// Run regenerates the experiment's table on the lab. Any simulation error
+// the lab hits — a bad workload spec, a worker panic (typed *runner.
+// PanicError), or cancellation of the lab's context — is returned instead
+// of a table. A lab that already failed returns that error immediately, so
+// an interrupted `-exp all` campaign drains without starting new work.
+func (e Experiment) Run(l *Lab) (*stats.Table, error) {
+	if err := l.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	t := e.Gen(l)
+	if err := l.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return t, nil
 }
 
 // All lists every experiment in paper order.

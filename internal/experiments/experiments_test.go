@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 )
 
@@ -21,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		if e.ID != want[i] {
 			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
 		}
-		if e.Title == "" || e.Run == nil {
+		if e.Title == "" || e.Gen == nil {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
@@ -55,17 +57,81 @@ func TestScales(t *testing.T) {
 func TestLabMemoisation(t *testing.T) {
 	l := NewLab(SmallScale())
 	a := l.run("mcf", secmem.DesignNP(), runOpts{})
-	before := len(l.cache)
+	if got := l.Orchestrator().Stats().Executed; got != 1 {
+		t.Fatalf("first run executed %d simulations, want 1", got)
+	}
 	b := l.run("mcf", secmem.DesignNP(), runOpts{})
-	if len(l.cache) != before {
-		t.Fatal("identical run was not memoised")
+	st := l.Orchestrator().Stats()
+	if st.Executed != 1 || st.Memoised != 1 {
+		t.Fatalf("identical run was not memoised: %+v", st)
 	}
 	if a.Cycles != b.Cycles {
 		t.Fatal("memoised result differs")
 	}
 	l.run("mcf", secmem.DesignMorph(), runOpts{})
-	if len(l.cache) != before+1 {
-		t.Fatal("distinct design should add a cache entry")
+	if got := l.Orchestrator().Stats().Executed; got != 2 {
+		t.Fatalf("distinct design should execute a new simulation, executed=%d", got)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := NewLab(SmallScale(), WithContext(ctx))
+	r := l.run("mcf", secmem.DesignNP(), runOpts{})
+	if err := l.Err(); err == nil {
+		t.Fatal("cancelled lab must record an error")
+	}
+	if r.Cycles != 0 {
+		t.Fatal("cancelled run must return zero results")
+	}
+	// Once failed, experiments report the error instead of a table.
+	e, _ := ByID("tab1")
+	if _, err := e.Run(l); err == nil {
+		t.Fatal("Experiment.Run on a failed lab must error")
+	}
+}
+
+func TestLabResume(t *testing.T) {
+	sc := Scale{GraphNodes: 40_000, GraphDegree: 4, Accesses: 30_000, Seed: 42,
+		Fig8Points: []uint64{30_000}}
+	dir := t.TempDir()
+
+	st1, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := NewLab(sc, WithStore(st1))
+	e, _ := ByID("fig10")
+	a, err := e.Run(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Orchestrator().Stats().Executed; got == 0 {
+		t.Fatal("first lab should have executed simulations")
+	}
+
+	st2, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := NewLab(sc, WithStore(st2))
+	b, err := e.Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := second.Orchestrator().Stats()
+	if stats.Executed != 0 {
+		t.Fatalf("resumed lab executed %d simulations, want 0", stats.Executed)
+	}
+	if stats.Restored == 0 {
+		t.Fatal("resumed lab restored nothing from the store")
+	}
+	if a.String() != b.String() {
+		t.Fatalf("restored table differs from computed one:\n%s\nvs\n%s", a, b)
 	}
 }
 
@@ -115,13 +181,21 @@ func TestKeyShapes(t *testing.T) {
 	if full.DataPred == nil || full.DataPred.Accuracy() < 0.5 {
 		t.Error("fig12: data prediction accuracy below coin flip")
 	}
+
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTablesRender(t *testing.T) {
 	l := NewLab(SmallScale())
 	for _, id := range []string{"tab1", "tab2", "tab3", "tab4"} {
 		e, _ := ByID(id)
-		out := e.Run(l).String()
+		tbl, err := e.Run(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tbl.String()
 		if !strings.Contains(out, "==") || len(out) < 50 {
 			t.Errorf("%s rendered %q", id, out)
 		}
@@ -130,7 +204,11 @@ func TestTablesRender(t *testing.T) {
 
 func TestTab2MatchesPaperStructure(t *testing.T) {
 	e, _ := ByID("tab2")
-	out := e.Run(NewLab(SmallScale())).String()
+	tbl, err := e.Run(NewLab(SmallScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
 	for _, want := range []string{"Data Q-Table", "CTR Q-Table", "CET", "LCR-CTR cache", "32768", "66560"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("tab2 missing %q:\n%s", want, out)
@@ -139,7 +217,7 @@ func TestTab2MatchesPaperStructure(t *testing.T) {
 }
 
 // TestEveryExperimentRuns executes the complete registry at smoke scale:
-// no experiment may panic or render an empty table.
+// no experiment may fail or render an empty table.
 func TestEveryExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -150,7 +228,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out := e.Run(l)
+			out, err := e.Run(l)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if out == nil || len(out.String()) < 40 {
 				t.Fatalf("%s produced no output", e.ID)
 			}
@@ -165,13 +246,21 @@ func TestPrewarmMatchesSerial(t *testing.T) {
 	sc := Scale{GraphNodes: 40_000, GraphDegree: 4, Accesses: 30_000, Seed: 42,
 		Fig8Points: []uint64{30_000}}
 	serial := NewLab(sc)
-	parallel := NewLab(sc)
-	Prewarm(parallel, 8)
+	parallel := NewLab(sc, WithWorkers(8))
+	if err := Prewarm(parallel); err != nil {
+		t.Fatal(err)
+	}
 	// Any figure rendered from the prewarmed lab must equal the serial one.
 	for _, id := range []string{"fig10", "fig16", "fig17"} {
 		e, _ := ByID(id)
-		a := e.Run(serial)
-		b := e.Run(parallel)
+		a, err := e.Run(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if a.String() != b.String() {
 			t.Fatalf("%s differs between serial and prewarmed labs:\n%s\nvs\n%s", id, a, b)
 		}

@@ -1,16 +1,16 @@
 package experiments
 
 import (
-	"sync"
-
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 )
 
-// prewarmJobs enumerates the (workload, design, opts) matrix shared by the
-// evaluation figures (10-17), so a parallel prewarm pass can populate the
-// lab's memo before the figures render serially.
-func prewarmJobs() []func(l *Lab) {
-	var jobs []func(l *Lab)
+// prewarmSpecs enumerates the (workload, design, opts) matrix shared by the
+// evaluation figures (10-17) as orchestrator specs, so a parallel prewarm
+// pass can populate the lab's memo (and results store) before the figures
+// render serially.
+func prewarmSpecs(l *Lab) []runner.Spec {
+	var specs []runner.Spec
 	designs4 := []secmem.Design{
 		secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignEMCC(),
 		secmem.DesignRMCC(), secmem.DesignCosmosDP(), secmem.DesignCosmosCP(),
@@ -18,50 +18,37 @@ func prewarmJobs() []func(l *Lab) {
 	}
 	for _, w := range evalWorkloads() {
 		for _, d := range designs4 {
-			w, d := w, d
-			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{}) })
+			specs = append(specs, l.spec(w, d, runOpts{}))
 		}
 	}
 	// Fig 15's 8-core runs.
 	for _, w := range []string{"BFS", "DFS", "TC", "GC", "CC", "SP", "DC"} {
 		for _, d := range []secmem.Design{secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos()} {
-			w, d := w, d
-			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{cores: 8}) })
+			specs = append(specs, l.spec(w, d, runOpts{cores: 8}))
 		}
 	}
 	// Fig 17's ML runs.
 	for _, w := range []string{"AlexNet", "ResNet", "VGG", "BERT", "Transformer", "DLRM"} {
 		for _, d := range []secmem.Design{secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos()} {
-			w, d := w, d
-			jobs = append(jobs, func(l *Lab) { l.run(w, d, runOpts{}) })
+			specs = append(specs, l.spec(w, d, runOpts{}))
 		}
 	}
-	return jobs
+	return specs
 }
 
-// Prewarm runs the evaluation-figure simulation matrix with the given
-// worker parallelism, populating the lab's memo so the subsequent serial
-// figure rendering is instant. Every simulation is still deterministic —
-// parallelism only affects wall-clock, never results.
-func Prewarm(l *Lab, workers int) {
-	if workers < 1 {
-		workers = 1
+// Prewarm runs the evaluation-figure simulation matrix through the lab's
+// orchestrator (its worker pool bounds parallelism), populating the memo —
+// and the results store, when the lab has one — so the subsequent serial
+// figure rendering is instant. Every simulation is still deterministic:
+// parallelism only affects wall-clock, never results. The first simulation
+// error (including cancellation) is recorded on the lab and returned.
+func Prewarm(l *Lab) error {
+	if err := l.Err(); err != nil {
+		return err
 	}
-	jobs := prewarmJobs()
-	ch := make(chan func(l *Lab))
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range ch {
-				job(l)
-			}
-		}()
+	if err := l.orch.RunAll(l.ctx, prewarmSpecs(l)); err != nil {
+		l.fail(err)
+		return err
 	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	return nil
 }

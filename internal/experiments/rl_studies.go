@@ -8,8 +8,6 @@ import (
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/stats"
-	"cosmos/internal/trace"
-	"cosmos/internal/workloads"
 )
 
 // Tab1 prints the tuned reward values and hyper-parameters.
@@ -76,39 +74,25 @@ func Tab4(*Lab) *stats.Table {
 // Fig8 tracks the data-location prediction correctness and the CTR cache
 // miss rate as memory accesses accumulate, for BFS (graph, seen-like during
 // tuning) and MLP (non-graph, unseen) under full COSMOS.
+//
+// Each checkpoint is its own orchestrator run (the simulator is
+// deterministic, so a run capped at N accesses is exactly the N-access
+// snapshot of a longer run): the curve memoises, deduplicates and resumes
+// per point like every other cell.
 func Fig8(l *Lab) *stats.Table {
 	t := stats.NewTable("Fig 8: prediction correctness and CTR miss rate vs accesses",
 		"workload", "accesses", "pred-correct", "ctr-miss")
 	for _, w := range []string{"BFS", "MLP"} {
-		gen, err := workloads.Build(w, workloads.Options{
-			Threads: 4, Seed: l.Scale.Seed,
-			GraphNodes: l.Scale.GraphNodes, GraphDegree: l.Scale.GraphDegree,
-		})
-		if err != nil {
-			panic(err)
-		}
-		cfg := sim.DefaultConfig()
-		cfg.MC.Seed = l.Scale.Seed
-		cfg.MC.Params.Seed = l.Scale.Seed
-		s := sim.New(cfg, secmem.DesignCosmos())
-		var done uint64
 		for _, point := range l.Scale.Fig8Points {
-			for done < point {
-				a, ok := gen.Next()
-				if !ok {
-					break
-				}
-				s.Step(a)
-				done++
-			}
-			r := s.Results(w)
+			sp := l.spec(w, secmem.DesignCosmos(), runOpts{})
+			sp.Accesses = point
+			r := l.runSpec(sp)
 			acc := 0.0
 			if r.DataPred != nil {
 				acc = r.DataPred.Accuracy()
 			}
-			t.Row(w, done, stats.Pct(acc), stats.Pct(r.CtrMissRate))
+			t.Row(w, r.Accesses, stats.Pct(acc), stats.Pct(r.CtrMissRate))
 		}
-		trace.CloseIfCloser(gen)
 	}
 	return t
 }
@@ -120,19 +104,12 @@ func Fig9(l *Lab) *stats.Table {
 	t := stats.NewTable("Fig 9: CET size vs good-locality share and LCR-CTR miss rate",
 		"cet-entries", "good-locality", "lcr-ctr-miss")
 	for _, entries := range []int{512, 2048, 4096, 8192, 10240, 16384, 32768} {
-		gen, err := workloads.Build("DFS", workloads.Options{
-			Threads: 4, Seed: l.Scale.Seed,
-			GraphNodes: l.Scale.GraphNodes, GraphDegree: l.Scale.GraphDegree,
-		})
-		if err != nil {
-			panic(err)
-		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Seed = l.Scale.Seed
 		cfg.MC.Params.Seed = l.Scale.Seed
 		cfg.MC.Params.CETEntries = entries
-		s := sim.New(cfg, secmem.DesignCosmos())
-		r := s.Run(trace.Limit(gen, l.Scale.Accesses), l.Scale.Accesses)
+		label := fmt.Sprintf("DFS_COSMOS_cet%d", entries)
+		r := l.runCfg("DFS", label, secmem.DesignCosmos(), cfg, l.Scale.Accesses)
 		good := 0.0
 		if r.CtrPred != nil {
 			good = r.CtrPred.GoodFraction()

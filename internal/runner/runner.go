@@ -1,0 +1,375 @@
+// Package runner is the run-orchestration subsystem: the single path every
+// simulation takes, whether it comes from the public cosmos API, the
+// experiments harness or the cosmos-bench campaign driver.
+//
+// The orchestrator provides, around a deterministic simulator:
+//
+//   - a bounded worker pool (Options.Workers) so arbitrarily wide campaign
+//     fan-out never oversubscribes the machine;
+//   - singleflight deduplication keyed by a canonical content hash of the
+//     Spec (workload, design, config, scale, seed): two concurrent requests
+//     for the same cell execute one simulation and share its Results;
+//   - in-memory memoisation of completed runs (what experiments.Lab used to
+//     carry) plus an optional persistent Store, so a killed campaign resumes
+//     executing only the missing cells;
+//   - context cancellation plumbed into the simulation loop itself
+//     (sim.System.RunContext), so SIGINT and timeouts land mid-run within a
+//     bounded number of steps;
+//   - panic recovery in workers, converted to typed *PanicError values
+//     instead of tearing down the whole campaign;
+//   - per-run queue-wait and execution-time accounting, exposed through
+//     Stats, the Observer callback and telemetry counters.
+//
+// Determinism contract: identical Specs yield bit-identical Results
+// regardless of worker count, arrival order, or whether the result was
+// executed, memoised, deduplicated or restored from disk.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"cosmos/internal/sim"
+	"cosmos/internal/telemetry"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// PanicError is a worker panic converted to a value: the campaign keeps
+// draining, the failing cell reports what blew up and where.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: panic in run %s: %v", e.Label, e.Value)
+}
+
+// Source says where a completed run's Results came from.
+type Source int
+
+const (
+	// SourceExecuted: this request ran the simulation.
+	SourceExecuted Source = iota
+	// SourceMemoised: served from the in-memory result cache.
+	SourceMemoised
+	// SourceRestored: loaded from the persistent Store.
+	SourceRestored
+	// SourceDeduplicated: waited on an identical in-flight run.
+	SourceDeduplicated
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceExecuted:
+		return "executed"
+	case SourceMemoised:
+		return "memoised"
+	case SourceRestored:
+		return "restored"
+	case SourceDeduplicated:
+		return "deduplicated"
+	}
+	return "unknown"
+}
+
+// Event describes one completed (or failed) Run request.
+type Event struct {
+	Key    string
+	Label  string
+	Source Source
+	// QueueWait is the time spent waiting for a worker slot; ExecTime the
+	// simulation wall time. Both are zero unless Source is SourceExecuted.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	Err       error
+}
+
+// Stats is a snapshot of the orchestrator's run accounting.
+type Stats struct {
+	Executed     uint64 // simulations actually run
+	Memoised     uint64 // served from the in-memory cache
+	Restored     uint64 // served from the persistent store
+	Deduplicated uint64 // coalesced onto an identical in-flight run
+	Failed       uint64 // requests that returned an error
+	// QueueWait / ExecTime accumulate over executed runs.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+}
+
+// Options configures an Orchestrator.
+type Options struct {
+	// Workers bounds concurrent simulations (default: runtime.NumCPU()).
+	Workers int
+	// Store, when non-nil, persists every executed run and is consulted
+	// before executing.
+	Store *Store
+}
+
+// Orchestrator runs simulations. Safe for concurrent use.
+type Orchestrator struct {
+	store *Store
+	sem   chan struct{}
+
+	// Instrument, when non-nil, is invoked for every simulation actually
+	// executed (not for memoised/restored/deduplicated results), after the
+	// System is built and before it runs; the returned cleanup, if non-nil,
+	// runs after the simulation finishes. It may be called concurrently.
+	Instrument func(label string, s *sim.System) func()
+
+	// Observer, when non-nil, receives an Event for every completed Run
+	// request, including failures. It may be called concurrently.
+	Observer func(Event)
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	memo     map[string]sim.Results
+	stats    Stats
+}
+
+// call is one in-flight execution that followers can wait on.
+type call struct {
+	done chan struct{}
+	res  sim.Results
+	err  error
+}
+
+// New creates an orchestrator.
+func New(opts Options) *Orchestrator {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.NumCPU()
+	}
+	return &Orchestrator{
+		store:    opts.Store,
+		sem:      make(chan struct{}, opts.Workers),
+		inflight: make(map[string]*call),
+		memo:     make(map[string]sim.Results),
+	}
+}
+
+// Store returns the persistent store the orchestrator writes to (nil when
+// running memory-only).
+func (o *Orchestrator) Store() *Store { return o.store }
+
+// Stats returns a snapshot of the run accounting.
+func (o *Orchestrator) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// RegisterMetrics exposes the orchestrator's accounting as telemetry
+// counters under scope: runs_{executed,memoised,restored,deduplicated,
+// failed} and the accumulated queue_wait_us / exec_time_us.
+func (o *Orchestrator) RegisterMetrics(scope *telemetry.Scope) {
+	s := scope.Scope("runner")
+	get := func(f func(st Stats) uint64) func() uint64 {
+		return func() uint64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			return f(o.stats)
+		}
+	}
+	s.CounterFunc("runs_executed", get(func(st Stats) uint64 { return st.Executed }))
+	s.CounterFunc("runs_memoised", get(func(st Stats) uint64 { return st.Memoised }))
+	s.CounterFunc("runs_restored", get(func(st Stats) uint64 { return st.Restored }))
+	s.CounterFunc("runs_deduplicated", get(func(st Stats) uint64 { return st.Deduplicated }))
+	s.CounterFunc("runs_failed", get(func(st Stats) uint64 { return st.Failed }))
+	s.CounterFunc("queue_wait_us", get(func(st Stats) uint64 { return uint64(st.QueueWait.Microseconds()) }))
+	s.CounterFunc("exec_time_us", get(func(st Stats) uint64 { return uint64(st.ExecTime.Microseconds()) }))
+}
+
+// Run executes (or recalls) the simulation the spec describes. Identical
+// concurrent calls coalesce onto one execution; completed results are
+// memoised in memory and, when a Store is configured, persisted so a later
+// process can resume without re-simulating. On cancellation the error wraps
+// ctx.Err(), so errors.Is(err, context.Canceled) works.
+func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) {
+	spec = spec.normalized()
+	key := spec.Key()
+	label := spec.DisplayLabel()
+
+	o.mu.Lock()
+	if r, ok := o.memo[key]; ok {
+		o.stats.Memoised++
+		o.mu.Unlock()
+		o.notify(Event{Key: key, Label: label, Source: SourceMemoised})
+		return cloneResults(r), nil
+	}
+	if c, ok := o.inflight[key]; ok {
+		o.stats.Deduplicated++
+		o.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.err != nil {
+				o.fail(Event{Key: key, Label: label, Source: SourceDeduplicated, Err: c.err})
+				return sim.Results{}, c.err
+			}
+			o.notify(Event{Key: key, Label: label, Source: SourceDeduplicated})
+			return cloneResults(c.res), nil
+		case <-ctx.Done():
+			err := fmt.Errorf("runner: run %s: %w", label, ctx.Err())
+			o.fail(Event{Key: key, Label: label, Source: SourceDeduplicated, Err: err})
+			return sim.Results{}, err
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	o.inflight[key] = c
+	o.mu.Unlock()
+
+	res, ev, err := o.execute(ctx, key, label, spec)
+	c.res, c.err = res, err
+
+	o.mu.Lock()
+	delete(o.inflight, key)
+	if err == nil {
+		o.memo[key] = res
+	}
+	o.mu.Unlock()
+	close(c.done)
+
+	ev.Key, ev.Label, ev.Err = key, label, err
+	if err != nil {
+		o.fail(ev)
+		return sim.Results{}, err
+	}
+	o.notify(ev)
+	return cloneResults(res), nil
+}
+
+// RunAll submits every spec concurrently (the worker pool bounds actual
+// parallelism) and waits for all of them, returning the first error. This
+// is the campaign-prewarm entry point: parallelism affects wall-clock only,
+// never results.
+func (o *Orchestrator) RunAll(ctx context.Context, specs []Spec) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, sp := range specs {
+		sp := sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := o.Run(ctx, sp); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// execute resolves one leader request: store lookup, worker-slot wait,
+// simulation, store write-back.
+func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec) (sim.Results, Event, error) {
+	if o.store != nil {
+		if r, ok := o.store.Get(key); ok {
+			o.mu.Lock()
+			o.stats.Restored++
+			o.mu.Unlock()
+			return r, Event{Source: SourceRestored}, nil
+		}
+	}
+
+	queued := time.Now()
+	select {
+	case o.sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Results{}, Event{Source: SourceExecuted}, fmt.Errorf("runner: run %s: %w", label, ctx.Err())
+	}
+	defer func() { <-o.sem }()
+	queueWait := time.Since(queued)
+
+	started := time.Now()
+	res, err := o.simulate(ctx, label, spec)
+	execTime := time.Since(started)
+
+	ev := Event{Source: SourceExecuted, QueueWait: queueWait, ExecTime: execTime}
+	if err != nil {
+		return sim.Results{}, ev, err
+	}
+	o.mu.Lock()
+	o.stats.Executed++
+	o.stats.QueueWait += queueWait
+	o.stats.ExecTime += execTime
+	o.mu.Unlock()
+
+	if o.store != nil {
+		if err := o.store.Put(key, spec, res); err != nil {
+			return sim.Results{}, ev, fmt.Errorf("runner: persist run %s: %w", label, err)
+		}
+	}
+	return res, ev, nil
+}
+
+// simulate builds and runs one simulation with panic recovery: a panicking
+// workload or model component fails this cell with a *PanicError instead of
+// killing the process.
+func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (res sim.Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Label: label, Value: p, Stack: debug.Stack()}
+		}
+	}()
+
+	gen, err := workloads.Build(spec.Workload, workloads.Options{
+		Threads:     spec.Cores,
+		Seed:        spec.Seed,
+		GraphNodes:  spec.GraphNodes,
+		GraphDegree: spec.GraphDegree,
+	})
+	if err != nil {
+		return sim.Results{}, fmt.Errorf("runner: build workload for %s: %w", label, err)
+	}
+
+	s := sim.New(spec.config(), spec.Design)
+	if o.Instrument != nil {
+		if cleanup := o.Instrument(label, s); cleanup != nil {
+			defer cleanup()
+		}
+	}
+	res, err = s.RunContext(ctx, trace.Limit(gen, spec.Accesses), spec.Accesses)
+	if err != nil {
+		return sim.Results{}, fmt.Errorf("runner: run %s: %w", label, err)
+	}
+	return res, nil
+}
+
+func (o *Orchestrator) notify(ev Event) {
+	if o.Observer != nil {
+		o.Observer(ev)
+	}
+}
+
+func (o *Orchestrator) fail(ev Event) {
+	o.mu.Lock()
+	o.stats.Failed++
+	o.mu.Unlock()
+	o.notify(ev)
+}
+
+// cloneResults deep-copies the pointer-valued fields so callers can never
+// mutate a shared memo entry through the returned value.
+func cloneResults(r sim.Results) sim.Results {
+	if r.DataPred != nil {
+		cp := *r.DataPred
+		r.DataPred = &cp
+	}
+	if r.CtrPred != nil {
+		cp := *r.CtrPred
+		r.CtrPred = &cp
+	}
+	return r
+}

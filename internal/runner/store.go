@@ -1,0 +1,189 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cosmos/internal/sim"
+)
+
+// Store layout under its root directory:
+//
+//	runs/<key>.json   one runRecord per completed simulation, where <key>
+//	                  is the spec's canonical content hash (Spec.Key)
+//	index.jsonl       one IndexEntry per stored run, append-only
+//
+// Result files are written atomically (temp file + rename), so a campaign
+// killed mid-write never leaves a truncated record behind — at worst the
+// cell is missing and gets re-simulated on resume. The index is a cheap,
+// human-greppable catalogue; Get reads the result file directly, so a
+// missing or stale index line never loses data.
+
+// storeVersion is embedded in every record; mismatching records are treated
+// as absent (and recomputed) rather than misread.
+const storeVersion = "cosmos-results-v1"
+
+// IndexEntry is one line of index.jsonl: enough to identify the run without
+// opening its result file.
+type IndexEntry struct {
+	Key      string `json:"key"`
+	Label    string `json:"label"`
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	Accesses uint64 `json:"accesses"`
+	Seed     uint64 `json:"seed"`
+}
+
+// runRecord is the on-disk form of one completed simulation.
+type runRecord struct {
+	Version string      `json:"version"`
+	Key     string      `json:"key"`
+	Spec    Spec        `json:"spec"`
+	Results sim.Results `json:"results"`
+}
+
+// Store is a persistent, content-addressed result store. Safe for
+// concurrent use within a process; across processes it is safe for the
+// resume pattern (a reader never observes a partial record).
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]IndexEntry
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open store: %w", err)
+	}
+	st := &Store{dir: dir, index: make(map[string]IndexEntry)}
+	if err := st.loadIndex(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Len reports how many runs the index lists.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.index)
+}
+
+// Index returns a copy of the index entries (unspecified order).
+func (st *Store) Index() []IndexEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]IndexEntry, 0, len(st.index))
+	for _, e := range st.index {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (st *Store) indexPath() string { return filepath.Join(st.dir, "index.jsonl") }
+
+func (st *Store) runPath(key string) string {
+	return filepath.Join(st.dir, "runs", key+".json")
+}
+
+// loadIndex reads index.jsonl, tolerating a missing file and skipping
+// malformed lines (e.g. a partial line from a killed process).
+func (st *Store) loadIndex() error {
+	f, err := os.Open(st.indexPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("runner: open store index: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var e IndexEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue
+		}
+		st.index[e.Key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("runner: read store index: %w", err)
+	}
+	return nil
+}
+
+// Get loads the results stored under key. A missing, truncated, corrupt or
+// version-mismatched record reports !ok — the orchestrator then simply
+// re-simulates, so a damaged store degrades to a slower campaign, never a
+// wrong one.
+func (st *Store) Get(key string) (sim.Results, bool) {
+	b, err := os.ReadFile(st.runPath(key))
+	if err != nil {
+		return sim.Results{}, false
+	}
+	var rec runRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return sim.Results{}, false
+	}
+	if rec.Version != storeVersion || rec.Key != key {
+		return sim.Results{}, false
+	}
+	return rec.Results, true
+}
+
+// Put persists one completed run: the result file is written atomically,
+// then the index gains a line. Overwriting an existing key is idempotent
+// (identical specs produce identical results).
+func (st *Store) Put(key string, spec Spec, r sim.Results) error {
+	rec := runRecord{Version: storeVersion, Key: key, Spec: spec, Results: r}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encode run %s: %w", key, err)
+	}
+	path := st.runPath(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	entry := IndexEntry{
+		Key:      key,
+		Label:    spec.DisplayLabel(),
+		Workload: spec.Workload,
+		Design:   spec.Design.Name,
+		Accesses: spec.Accesses,
+		Seed:     spec.Seed,
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.index[key]; dup {
+		return nil // already catalogued; result file was refreshed above
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("runner: encode index entry %s: %w", key, err)
+	}
+	f, err := os.OpenFile(st.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	st.index[key] = entry
+	return nil
+}

@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(Options{Workers: 1, Store: st})
+	sp := testSpec()
+	a, err := o.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d runs, want 1", st.Len())
+	}
+
+	// A fresh process over the same directory restores without executing.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("reopened store lists %d runs, want 1", st2.Len())
+	}
+	idx := st2.Index()
+	if idx[0].Key != sp.Key() || idx[0].Workload != "mcf" {
+		t.Fatalf("index entry = %+v", idx[0])
+	}
+	o2 := New(Options{Workers: 1, Store: st2})
+	b, err := o2.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := o2.Stats()
+	if stats.Executed != 0 || stats.Restored != 1 {
+		t.Fatalf("resume stats = %+v, want pure restore", stats)
+	}
+	// The JSON round trip must be exact: restored results are bit-identical
+	// to the originally computed ones.
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("restored results differ:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestStoreCorruptRecordRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec()
+	o := New(Options{Workers: 1, Store: st})
+	if _, err := o.Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the record mid-file, as a kill -9 during a non-atomic write
+	// would. The store must treat it as absent.
+	path := filepath.Join(dir, "runs", sp.Key()+".json")
+	if err := os.WriteFile(path, []byte("{\"version\":\"cosmos-results-v1\""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(sp.Key()); ok {
+		t.Fatal("corrupt record must read as a miss")
+	}
+	o2 := New(Options{Workers: 1, Store: st2})
+	if _, err := o2.Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	if stats := o2.Stats(); stats.Executed != 1 || stats.Restored != 0 {
+		t.Fatalf("stats = %+v, want recompute", stats)
+	}
+	// The recompute healed the store.
+	if _, ok := st2.Get(sp.Key()); !ok {
+		t.Fatal("recomputed run was not re-persisted")
+	}
+}
+
+func TestStoreVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec()
+	o := New(Options{Workers: 1, Store: st})
+	if _, err := o.Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "runs", sp.Key()+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := []byte(string(b))
+	mangled = []byte(replaceOnce(string(mangled), storeVersion, "cosmos-results-v0"))
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(sp.Key()); ok {
+		t.Fatal("version-mismatched record must read as a miss")
+	}
+}
+
+func TestStoreIndexToleratesPartialLine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec()
+	o := New(Options{Workers: 1, Store: st})
+	if _, err := o.Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: a trailing partial line.
+	f, err := os.OpenFile(filepath.Join(dir, "index.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"key\":\"deadbeef\","); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("index lists %d runs, want the 1 intact entry", st2.Len())
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}

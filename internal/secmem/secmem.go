@@ -78,12 +78,20 @@ func DesignRMCC() Design {
 	return Design{Name: "RMCC", Secure: true, Early: EarlyNone, CtrPolicy: "LFU"}
 }
 
-// DesignByName resolves the standard designs.
-func DesignByName(name string) (Design, error) {
-	for _, d := range []Design{
+// AllDesigns is the design registry: every named design point, in the
+// paper's presentation order (baselines first, COSMOS variants, then the
+// related-work comparison point). DesignByName and the public
+// cosmos.Designs list both derive from it, so they cannot drift.
+func AllDesigns() []Design {
+	return []Design{
 		DesignNP(), DesignMorph(), DesignEMCC(), DesignOracleL1(),
 		DesignCosmosDP(), DesignCosmosCP(), DesignCosmos(), DesignRMCC(),
-	} {
+	}
+}
+
+// DesignByName resolves the standard designs.
+func DesignByName(name string) (Design, error) {
+	for _, d := range AllDesigns() {
 		if d.Name == name {
 			return d, nil
 		}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+)
+
+func TestRunContextCancelBounded(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(testConfig(), secmem.DesignCosmos())
+	gen := trace.NewUniform(region(1<<28, 256<<20), 10, 7, 1)
+	const max = 10_000_000 // far more than a cancelled run may consume
+	r, err := s.RunContext(ctx, trace.Limit(gen, max), max)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is polled every CancelCheckEvery steps: a pre-cancelled
+	// context must stop at the very first poll.
+	if r.Accesses == 0 || r.Accesses > CancelCheckEvery {
+		t.Fatalf("cancelled run consumed %d accesses, want (0, %d]", r.Accesses, CancelCheckEvery)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	run := func(viaCtx bool) Results {
+		s := New(testConfig(), secmem.DesignCosmos())
+		gen := trace.NewUniform(region(1<<28, 256<<20), 10, 7, 1)
+		if viaCtx {
+			r, err := s.RunContext(context.Background(), trace.Limit(gen, 30_000), 30_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		return s.Run(trace.Limit(gen, 30_000), 30_000)
+	}
+	a, b := run(false), run(true)
+	if a.Cycles != b.Cycles || a.Traffic != b.Traffic {
+		t.Fatal("RunContext with a background context must match Run exactly")
+	}
+}

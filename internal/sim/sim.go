@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cosmos/internal/cache"
@@ -446,7 +447,25 @@ func (s *System) ResetStats() {
 // boundary and the final partial interval is flushed before the results are
 // computed.
 func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
+	r, _ := s.RunContext(context.Background(), gen, maxAccesses)
+	return r
+}
+
+// CancelCheckEvery is the cancellation-poll cadence of RunContext: the
+// context is consulted once per this many steps, so a cancellation lands
+// mid-simulation after at most this many additional accesses. A power of
+// two; at ~10M steps/s the poll itself is unmeasurable.
+const CancelCheckEvery = 4096
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// every CancelCheckEvery steps, and on cancellation the partial Results
+// accumulated so far are returned together with ctx.Err(). A Background
+// (or otherwise non-cancellable) context costs nothing: its nil Done
+// channel skips the poll entirely.
+func (s *System) RunContext(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
 	defer trace.CloseIfCloser(gen)
+	done := ctx.Done()
+	var steps uint64
 	for s.accesses < maxAccesses {
 		a, ok := gen.Next()
 		if !ok {
@@ -456,11 +475,22 @@ func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
 		if s.sampler != nil {
 			s.sampler.MaybeSample(s.accesses)
 		}
+		steps++
+		if done != nil && steps&(CancelCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				if s.sampler != nil {
+					s.sampler.Flush(s.accesses)
+				}
+				return s.Results(gen.Name()), ctx.Err()
+			default:
+			}
+		}
 	}
 	if s.sampler != nil {
 		s.sampler.Flush(s.accesses)
 	}
-	return s.Results(gen.Name())
+	return s.Results(gen.Name()), nil
 }
 
 // Results snapshots every metric the experiment harness consumes.
