@@ -177,6 +177,30 @@ func BenchmarkSimStepTelemetryDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkStep is the CI smoke benchmark of the hot loop (see
+// .github/workflows/ci.yml): one sub-benchmark per representative design,
+// so a regression in the Level-chain walk or the fetch-path composition
+// shows up against the recorded baselines.
+func BenchmarkStep(b *testing.B) {
+	for _, d := range []secmem.Design{
+		secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos(),
+	} {
+		d := d
+		b.Run(d.Name, func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.MC.MemBytes = 1 << 30
+			s := sim.New(cfg, d)
+			gen := trace.NewUniform(memsys.Region{Base: 1 << 28, Size: 256 << 20, Elem: 1}, 20, 3, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, _ := gen.Next()
+				s.Step(a)
+			}
+		})
+	}
+}
+
 // TestStepZeroAllocsTelemetryDisabled pins the same property as a hard
 // assertion so `go test` (not just benchmark eyeballing) fails on a
 // regression.
@@ -197,14 +221,47 @@ func TestStepZeroAllocsTelemetryDisabled(t *testing.T) {
 	}
 }
 
+// TestStepZeroAllocsAcrossDesigns extends the zero-alloc guard over the
+// non-COSMOS paths: the baseline walk (NP), the serialised secure path
+// (MorphCtr) and the always-early counter path (EMCC) must not allocate
+// either — the Request/Response/fetchPath plumbing is all value-typed.
+func TestStepZeroAllocsAcrossDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement needs the full warmup")
+	}
+	for _, d := range []secmem.Design{
+		secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignEMCC(),
+	} {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			s, gen := warmedSystemFor(d, 400_000)
+			const stepsPerRun = 100
+			avg := testing.AllocsPerRun(100, func() {
+				for i := 0; i < stepsPerRun; i++ {
+					a, _ := gen.Next()
+					s.Step(a)
+				}
+			})
+			if avg > 0 {
+				t.Errorf("%s Step allocates: %.3f allocs per %d steps, want 0", d.Name, avg, stepsPerRun)
+			}
+		})
+	}
+}
+
 // warmedSystem builds a COSMOS system and drives it to a steady state where
 // every counter block of the (small) region has materialised.
 func warmedSystem() (*sim.System, trace.Generator) {
+	return warmedSystemFor(secmem.DesignCosmos(), 400_000)
+}
+
+// warmedSystemFor is warmedSystem for an arbitrary design point.
+func warmedSystemFor(d secmem.Design, steps int) (*sim.System, trace.Generator) {
 	cfg := sim.DefaultConfig()
 	cfg.MC.MemBytes = 1 << 30
-	s := sim.New(cfg, secmem.DesignCosmos())
+	s := sim.New(cfg, d)
 	gen := trace.NewUniform(memsys.Region{Base: 0, Size: 32 << 20, Elem: 1}, 20, 3, 1)
-	for i := 0; i < 400_000; i++ {
+	for i := 0; i < steps; i++ {
 		a, _ := gen.Next()
 		s.Step(a)
 	}

@@ -44,6 +44,7 @@ func run() int {
 
 	var (
 		exp     = flag.String("exp", "all", "experiment id (fig2..fig17, tab1..tab4, abl-*, all)")
+		list    = flag.Bool("list", false, "print the available experiment ids and exit")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction, 0 = smoke)")
 		csv     = flag.Bool("csv", false, "emit CSV")
 		out     = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
@@ -60,6 +61,13 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
 
 	// First SIGINT/SIGTERM cancels the campaign context: in-flight
 	// simulations stop within sim.CancelCheckEvery steps, completed cells

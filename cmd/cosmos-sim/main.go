@@ -36,7 +36,7 @@ func main() {
 
 	var (
 		workload  = flag.String("workload", "DFS", "workload name ("+strings.Join(workloads.AllNames(), ", ")+")")
-		design    = flag.String("design", "COSMOS", "design point (NP, MorphCtr, EMCC, Morph@L1, COSMOS-DP, COSMOS-CP, COSMOS)")
+		design    = flag.String("design", "COSMOS", "design point ("+strings.Join(secmem.DesignNames(), ", ")+")")
 		accesses  = flag.Uint64("accesses", 2_000_000, "memory accesses to simulate")
 		cores     = flag.Int("cores", 4, "core/thread count")
 		nodes     = flag.Int("graph-nodes", 0, "graph vertex count (0 = default)")

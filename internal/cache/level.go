@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"cosmos/internal/memsys"
+	"cosmos/internal/telemetry"
+)
+
+// Level adapts a Cache to the memsys.Level interface, binding it into a
+// hierarchy chain: a fixed lookup latency and a downstream level that
+// receives this cache's dirty victims. The writeback walk is generic — any
+// dirty eviction, whether caused by a demand fill or by an arriving
+// writeback, is forwarded to down.Writeback, which cascades recursively
+// until a terminal level absorbs the line.
+type Level struct {
+	cache *Cache
+	lat   uint64
+	down  memsys.Level
+}
+
+// NewLevel wraps c as a hierarchy level with the given lookup latency.
+// down receives dirty victims; it must be non-nil unless the cache can
+// never hold dirty lines.
+func NewLevel(c *Cache, lat uint64, down memsys.Level) *Level {
+	return &Level{cache: c, lat: lat, down: down}
+}
+
+// Cache exposes the underlying tag store (stats, policy hints).
+func (l *Level) Cache() *Cache { return l.cache }
+
+// Down returns the level this cache writes dirty victims to.
+func (l *Level) Down() memsys.Level { return l.down }
+
+// Name implements memsys.Level.
+func (l *Level) Name() string { return l.cache.Name() }
+
+// Latency implements memsys.Level.
+func (l *Level) Latency() uint64 { return l.lat }
+
+// Access performs a demand lookup and cascades any dirty victim down the
+// chain before returning.
+func (l *Level) Access(r memsys.Request) memsys.Response {
+	res := l.cache.Access(r.Line, r.Write, r.Sig)
+	l.cascade(res, r)
+	return memsys.Response{
+		Hit:          res.Hit,
+		Latency:      l.lat,
+		Evicted:      res.Evicted,
+		EvictedLine:  res.EvictedLine,
+		EvictedDirty: res.EvictedDirty,
+	}
+}
+
+// Writeback installs a dirty victim from the level above. The install is a
+// store (the line is dirty here now); its own victim cascades further down.
+func (l *Level) Writeback(r memsys.Request) {
+	res := l.cache.Access(r.Line, true, memsys.SigWriteback)
+	l.cascade(res, r)
+}
+
+// cascade forwards a dirty victim to the downstream level.
+func (l *Level) cascade(res Result, r memsys.Request) {
+	if res.Evicted && res.EvictedDirty && l.down != nil {
+		l.down.Writeback(memsys.Request{
+			Line:  res.EvictedLine,
+			Write: true,
+			Sig:   memsys.SigWriteback,
+			Core:  r.Core,
+			Now:   r.Now,
+		})
+	}
+}
+
+// RegisterMetrics implements memsys.Level.
+func (l *Level) RegisterMetrics(s *telemetry.Scope) { l.cache.RegisterMetrics(s) }
+
+// ResetStats implements memsys.Level.
+func (l *Level) ResetStats() { l.cache.Stats = Stats{} }

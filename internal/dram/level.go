@@ -1,0 +1,46 @@
+package dram
+
+import (
+	"cosmos/internal/memsys"
+	"cosmos/internal/telemetry"
+)
+
+// Level adapts the DRAM timing model to the memsys.Level interface: a flat
+// memory terminal with no metadata machinery. It is the end of the chain
+// for non-protected hierarchies (the secure terminal is secmem.Level) —
+// every access reaches the device, writebacks are absorbed as row writes.
+type Level struct {
+	m *Model
+}
+
+// NewLevel wraps m as a hierarchy terminal.
+func NewLevel(m *Model) *Level { return &Level{m: m} }
+
+// Model exposes the underlying timing model.
+func (l *Level) Model() *Model { return l.m }
+
+// Name implements memsys.Level.
+func (l *Level) Name() string { return "dram" }
+
+// Latency implements memsys.Level: the best-case (row hit, idle bank) read
+// latency; actual access cost is reported per request by Access.
+func (l *Level) Latency() uint64 { return l.m.MinReadLatency() }
+
+// Access implements memsys.Level: memory never misses.
+func (l *Level) Access(r memsys.Request) memsys.Response {
+	return memsys.Response{
+		Hit:     true,
+		Latency: l.m.Access(r.Now, r.Line<<memsys.LineOffsetBits, r.Write),
+	}
+}
+
+// Writeback absorbs a dirty victim as a DRAM write.
+func (l *Level) Writeback(r memsys.Request) {
+	l.m.Access(r.Now, r.Line<<memsys.LineOffsetBits, true)
+}
+
+// RegisterMetrics implements memsys.Level.
+func (l *Level) RegisterMetrics(s *telemetry.Scope) { l.m.RegisterMetrics(s) }
+
+// ResetStats implements memsys.Level.
+func (l *Level) ResetStats() { l.m.Stats = Stats{} }

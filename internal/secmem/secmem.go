@@ -9,6 +9,7 @@ package secmem
 
 import (
 	"fmt"
+	"strings"
 
 	"cosmos/internal/cache"
 	"cosmos/internal/core"
@@ -89,14 +90,26 @@ func AllDesigns() []Design {
 	}
 }
 
-// DesignByName resolves the standard designs.
+// DesignNames lists the registry's design names in presentation order.
+func DesignNames() []string {
+	ds := AllDesigns()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// DesignByName resolves the standard designs; the error for an unknown
+// name lists every valid one.
 func DesignByName(name string) (Design, error) {
 	for _, d := range AllDesigns() {
 		if d.Name == name {
 			return d, nil
 		}
 	}
-	return Design{}, fmt.Errorf("secmem: unknown design %q", name)
+	return Design{}, fmt.Errorf("secmem: unknown design %q (valid: %s)",
+		name, strings.Join(DesignNames(), ", "))
 }
 
 // Config carries the Table 3 machine parameters relevant to the MC.

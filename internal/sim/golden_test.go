@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// goldenRun reproduces exactly what `cosmos-sim -design <d> -workload <w>
+// -accesses 300000 -graph-nodes 300000 -seed 42` executes.
+func goldenRun(t *testing.T, designName, workload string) Results {
+	t.Helper()
+	d, err := secmem.DesignByName(designName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MC.Seed = 42
+	cfg.MC.Params.Seed = 42
+	gen, err := workloads.Build(workload, workloads.Options{
+		Threads: 4, Seed: 42, GraphNodes: 300000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg, d)
+	return s.Run(trace.Limit(gen, 300000), 300000)
+}
+
+// The golden values below were captured from the pre-refactor simulator at
+// the same commit the Level-chain rewrite branched from. The refactor must
+// preserve them bit-for-bit: any drift here means the request-path
+// abstraction changed the timing model, not just its structure.
+
+func TestGoldenSecureDesign(t *testing.T) {
+	r := goldenRun(t, "COSMOS", "DFS")
+	check := func(name string, got, want any) {
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("Cycles", r.Cycles, uint64(5028126))
+	check("IPC", r.IPC, 0.2386575038095704)
+	check("L1MissRate", r.L1MissRate, 0.43781333333333333)
+	check("L2MissRate", r.L2MissRate, 0.9812553295163845)
+	check("LLCMissRate", r.LLCMissRate, 0.8414441116680375)
+	check("CtrAccesses", r.CtrAccesses, uint64(128600))
+	check("CtrMissRate", r.CtrMissRate, 0.7881726283048212)
+	check("OffChipReads", r.OffChipReads, uint64(108447))
+	check("Bypassed", r.Bypassed, uint64(84689))
+	check("AvgFetchLat", r.AvgFetchLat, 681.3356939334421)
+	check("SMAT", r.SMAT, 157.13540344112553)
+	check("Traffic", r.Traffic, secmem.Traffic{
+		DataRead: 108447, DataWrite: 834,
+		CtrRead: 101359, CtrWrite: 797,
+		MTRead: 28514, MACRead: 97904, MACWrite: 795,
+		WastedDataFetch: 19314,
+	})
+	check("DRAM.Reads", r.DRAM.Reads, uint64(355538))
+	check("DRAM.Writes", r.DRAM.Writes, uint64(2426))
+	if r.DataPred == nil || r.DataPred.PredOffCorrect != 84689 {
+		t.Errorf("DataPred = %+v, want PredOffCorrect 84689", r.DataPred)
+	}
+}
+
+func TestGoldenBaselineDesign(t *testing.T) {
+	r := goldenRun(t, "NP", "mcf")
+	check := func(name string, got, want any) {
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("Cycles", r.Cycles, uint64(18250284))
+	check("IPC", r.IPC, 0.06575240144208166)
+	check("L1MissRate", r.L1MissRate, 0.72729)
+	check("L2MissRate", r.L2MissRate, 0.9967275777200292)
+	check("LLCMissRate", r.LLCMissRate, 0.982186294390568)
+	check("CtrAccesses", r.CtrAccesses, uint64(0))
+	check("OffChipReads", r.OffChipReads, uint64(213599))
+	check("Bypassed", r.Bypassed, uint64(0))
+	check("AvgFetchLat", r.AvgFetchLat, 851.8353643977734)
+	check("SMAT", r.SMAT, 211.79386610549642)
+	check("Traffic", r.Traffic, secmem.Traffic{DataRead: 213599, DataWrite: 1214})
+	check("DRAM.Writes", r.DRAM.Writes, uint64(1214))
+}

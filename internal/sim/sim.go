@@ -1,9 +1,10 @@
-// Package sim is the multi-core system simulator: per-core L1 and L2
-// caches, a shared LLC, and the secure memory controller (internal/secmem),
-// driven by workload access streams. It accounts per-thread cycles with a
-// simple out-of-order overlap model and produces the metrics every paper
-// figure is built from: IPC, cache miss rates, CTR cache behaviour, DRAM
-// traffic decomposition and SMAT (Eq 1-2).
+// Package sim is the multi-core system simulator: a composed chain of
+// memory-hierarchy levels (per-core L1 and L2 caches, a shared LLC) ending
+// in the secure memory controller (internal/secmem), driven by workload
+// access streams. It accounts per-thread cycles with a simple out-of-order
+// overlap model and produces the metrics every paper figure is built from:
+// IPC, cache miss rates, CTR cache behaviour, DRAM traffic decomposition
+// and SMAT (Eq 1-2).
 package sim
 
 import (
@@ -20,6 +21,18 @@ import (
 	"cosmos/internal/trace"
 )
 
+// LevelSpec describes one on-chip cache level of the hierarchy. Levels are
+// listed top (closest to the core) first; Shared levels are instantiated
+// once and banked by every core, private levels once per core. Private
+// levels may not sit below shared ones.
+type LevelSpec struct {
+	Name   string `json:"name"`
+	Bytes  int    `json:"bytes"`
+	Ways   int    `json:"ways"`
+	Lat    uint64 `json:"lat"`
+	Shared bool   `json:"shared,omitempty"`
+}
+
 // Config is the Table 3 machine.
 type Config struct {
 	Cores int
@@ -30,6 +43,11 @@ type Config struct {
 	L1Lat, L2Lat      uint64
 	LLCLat            uint64
 
+	// Levels optionally replaces the L1/L2/LLC fields above with an
+	// arbitrary on-chip hierarchy (top first). Nil means the classic
+	// three-level machine built from the scalar fields.
+	Levels []LevelSpec `json:",omitempty"`
+
 	// NonMemCycles is the compute time each access group carries (the
 	// non-memory instructions between memory references).
 	NonMemCycles uint64
@@ -39,6 +57,19 @@ type Config struct {
 	MLP uint64
 
 	MC secmem.Config
+}
+
+// levelSpecs resolves the on-chip hierarchy: the explicit Levels list when
+// set, otherwise the classic L1/L2/LLC machine.
+func (c Config) levelSpecs() []LevelSpec {
+	if len(c.Levels) > 0 {
+		return c.Levels
+	}
+	return []LevelSpec{
+		{Name: "l1", Bytes: c.L1Bytes, Ways: c.L1Ways, Lat: c.L1Lat},
+		{Name: "l2", Bytes: c.L2Bytes, Ways: c.L2Ways, Lat: c.L2Lat},
+		{Name: "llc", Bytes: c.LLCBytes, Ways: c.LLCWays, Lat: c.LLCLat, Shared: true},
+	}
 }
 
 // DefaultConfig returns the paper's 4-core setup (Table 3).
@@ -87,13 +118,23 @@ type System struct {
 	cfg    Config
 	design secmem.Design
 
-	l1s []*cache.Cache
-	l2s []*cache.Cache
-	llc *cache.Cache
-	mc  *secmem.Engine
+	// chains[c] is core c's view of the on-chip hierarchy, top first:
+	// private levels are distinct per core, the tail from sharedFrom on is
+	// the same Level values in every chain. Each level's writeback link is
+	// wired to the next; the last level drains into the secure-memory
+	// terminal.
+	chains     [][]memsys.Level
+	specs      []LevelSpec
+	lats       []uint64 // specs[i].Lat, indexed like chains[c]
+	sharedFrom int
+	mc         *secmem.Engine
+	terminal   *secmem.Level
+
+	l1Lat   uint64 // level-0 lookup cost, charged on every access
+	walkLat uint64 // serial cost of the levels below level 0
 
 	threadCycles []uint64
-	demand       [3]levelStats // L1, L2, LLC
+	demand       []levelStats // indexed like chains[c]
 
 	accesses     uint64
 	reads        uint64
@@ -108,16 +149,66 @@ type System struct {
 	fetchHist *telemetry.Histogram
 }
 
-// New builds a system for the given design point.
+// New builds a system for the given design point: the secure-memory
+// terminal, then the on-chip levels bottom-up so each can be handed its
+// downstream writeback link.
 func New(cfg Config, design secmem.Design) *System {
 	cfg.MC.Cores = cfg.Cores
 	s := &System{cfg: cfg, design: design}
-	for c := 0; c < cfg.Cores; c++ {
-		s.l1s = append(s.l1s, cache.New("l1", cfg.L1Bytes, cfg.L1Ways, cache.NewLRU()))
-		s.l2s = append(s.l2s, cache.New("l2", cfg.L2Bytes, cfg.L2Ways, cache.NewLRU()))
-	}
-	s.llc = cache.New("llc", cfg.LLCBytes, cfg.LLCWays, cache.NewLRU())
+	s.specs = cfg.levelSpecs()
 	s.mc = secmem.NewEngine(cfg.MC, design)
+	s.terminal = secmem.NewLevel(s.mc)
+
+	s.sharedFrom = len(s.specs)
+	for i, sp := range s.specs {
+		if sp.Shared {
+			s.sharedFrom = i
+			break
+		}
+	}
+	for i := s.sharedFrom; i < len(s.specs); i++ {
+		if !s.specs[i].Shared {
+			panic(fmt.Sprintf("sim: private level %q below shared level %q",
+				s.specs[i].Name, s.specs[s.sharedFrom].Name))
+		}
+	}
+
+	newLevel := func(sp LevelSpec, down memsys.Level) memsys.Level {
+		return cache.NewLevel(cache.New(sp.Name, sp.Bytes, sp.Ways, cache.NewLRU()), sp.Lat, down)
+	}
+
+	// Shared tail, built once.
+	var down memsys.Level = s.terminal
+	shared := make([]memsys.Level, len(s.specs)-s.sharedFrom)
+	for i := len(s.specs) - 1; i >= s.sharedFrom; i-- {
+		down = newLevel(s.specs[i], down)
+		shared[i-s.sharedFrom] = down
+	}
+	sharedTop := down
+
+	// Private prefix, per core, linked onto the shared tail.
+	s.chains = make([][]memsys.Level, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		chain := make([]memsys.Level, len(s.specs))
+		copy(chain[s.sharedFrom:], shared)
+		down := sharedTop
+		for i := s.sharedFrom - 1; i >= 0; i-- {
+			down = newLevel(s.specs[i], down)
+			chain[i] = down
+		}
+		s.chains[c] = chain
+	}
+
+	s.lats = make([]uint64, len(s.specs))
+	for i, sp := range s.specs {
+		s.lats[i] = sp.Lat
+	}
+	s.l1Lat = s.lats[0]
+	for _, l := range s.lats[1:] {
+		s.walkLat += l
+	}
+
+	s.demand = make([]levelStats, len(s.specs))
 	s.threadCycles = make([]uint64, cfg.Cores)
 	return s
 }
@@ -125,11 +216,21 @@ func New(cfg Config, design secmem.Design) *System {
 // MC exposes the memory controller (for experiment harnesses).
 func (s *System) MC() *secmem.Engine { return s.mc }
 
+// Chain returns core c's on-chip hierarchy, top (L1) first. Shared levels
+// appear in every core's chain as the same Level value; the secure-memory
+// terminal is not included (see Terminal).
+func (s *System) Chain(c int) []memsys.Level { return s.chains[c] }
+
+// Terminal returns the secure-memory level the last on-chip level drains
+// into.
+func (s *System) Terminal() memsys.Level { return s.terminal }
+
 // RegisterMetrics registers the whole system's metric set under root:
 // run-level access counters and derived rates, the off-chip fetch-latency
-// histogram, per-core L1/L2 and shared-LLC cache metrics, and everything the
-// memory controller exports (CTR pipeline, traffic classes, DRAM, RL
-// predictors). Call once after New and before the first sampled access.
+// histogram, every hierarchy level (private levels under their core's
+// scope, shared levels at root), and everything the memory controller
+// exports (CTR pipeline, traffic classes, DRAM, RL predictors). Call once
+// after New and before the first sampled access.
 func (s *System) RegisterMetrics(root *telemetry.Scope) {
 	sys := root.Scope("sim")
 	sys.Counter("accesses", &s.accesses)
@@ -143,11 +244,14 @@ func (s *System) RegisterMetrics(root *telemetry.Scope) {
 	s.fetchHist = sys.Histogram("fetch_latency")
 
 	for c := 0; c < s.cfg.Cores; c++ {
-		core := root.Scope(fmt.Sprintf("core%d", c))
-		s.l1s[c].RegisterMetrics(core.Scope("l1"))
-		s.l2s[c].RegisterMetrics(core.Scope("l2"))
+		coreScope := root.Scope(fmt.Sprintf("core%d", c))
+		for i := 0; i < s.sharedFrom; i++ {
+			s.chains[c][i].RegisterMetrics(coreScope.Scope(s.specs[i].Name))
+		}
 	}
-	s.llc.RegisterMetrics(root.Scope("llc"))
+	for i := s.sharedFrom; i < len(s.specs); i++ {
+		s.chains[0][i].RegisterMetrics(root.Scope(s.specs[i].Name))
+	}
 	s.mc.RegisterMetrics(root.Scope("secmem"))
 }
 
@@ -156,8 +260,9 @@ func (s *System) RegisterMetrics(root *telemetry.Scope) {
 func (s *System) AttachSampler(sp *telemetry.Sampler) { s.sampler = sp }
 
 // AttachTracer enables event tracing of off-chip accesses: for every
-// off-chip fetch the three racing chains (walk / ctr / data, see Step) are
-// recorded as Chrome trace_event slices on the owning core's lane.
+// off-chip fetch the three racing chains (walk / ctr / data, see
+// fetchpath.go) are recorded as Chrome trace_event slices on the owning
+// core's lane.
 func (s *System) AttachTracer(tr *telemetry.Tracer) {
 	s.tracer = tr
 	for c := 0; c < s.cfg.Cores; c++ {
@@ -178,41 +283,15 @@ const (
 	tidData
 )
 
-const sigWB uint16 = 59999
-
-// wbToL2 installs a dirty line evicted from L1 into L2, cascading evictions
-// down the hierarchy. Writebacks do not fetch from DRAM.
-func (s *System) wbToL2(c int, now uint64, line uint64) {
-	r := s.l2s[c].Access(line, true, sigWB)
-	if r.Evicted && r.EvictedDirty {
-		s.wbToLLC(c, now, r.EvictedLine)
-	}
-}
-
-func (s *System) wbToLLC(c int, now uint64, line uint64) {
-	r := s.llc.Access(line, true, sigWB)
-	if r.Evicted && r.EvictedDirty {
-		s.wbToDRAM(c, now, r.EvictedLine)
-	}
-}
-
-// wbToDRAM writes a line back to memory: the data write, the counter
-// increment (with possible re-encryption) and the MAC update.
-func (s *System) wbToDRAM(c int, now uint64, line uint64) {
-	addr := memsys.LineToAddr(line)
-	s.mc.DataDRAM(now, addr, true)
-	if s.design.Secure && s.mc.InSecureRegion(addr) {
-		s.mc.CtrAccess(c, now, line, true)
-		s.mc.MACAccess(c, now, line, true)
-	}
-}
-
-// Step processes one access and returns its critical-path latency.
+// Step processes one access and returns its critical-path latency: walk the
+// core's level chain until a hit (writebacks cascade inside the levels),
+// and on an all-miss compose the off-chip fetch path and advance the thread
+// clock.
 func (s *System) Step(a memsys.Access) uint64 {
 	c := int(a.Thread) % s.cfg.Cores
 	now := s.threadCycles[c]
 	write := a.Type == memsys.Write
-	line := a.Addr.Line()
+	chain := s.chains[c]
 
 	s.accesses++
 	if write {
@@ -221,175 +300,54 @@ func (s *System) Step(a memsys.Access) uint64 {
 		s.reads++
 	}
 
-	// L1
+	req := memsys.Request{Line: a.Addr.Line(), Write: write, Sig: a.Region, Core: c, Now: now}
+
+	// Top level: the only one that sees the store bit.
 	s.demand[0].accesses++
-	r1 := s.l1s[c].Access(line, write, a.Region)
-	if r1.Evicted && r1.EvictedDirty {
-		s.wbToL2(c, now, r1.EvictedLine)
-	}
-	if r1.Hit {
-		lat := s.cfg.L1Lat
+	r := chain[0].Access(req)
+	lat := s.l1Lat
+	if r.Hit {
 		s.advance(c, write, a.Dep, lat)
 		return lat
 	}
 	s.demand[0].misses++
 
-	// L1 miss: early CTR access / data location prediction. Accesses
-	// outside a bounded secure region (SGXv1-style EPC) take the
-	// non-protected path.
-	secure := s.design.Secure && s.mc.InSecureRegion(a.Addr)
-	var pred core.Prediction
-	predictedOff := false
-	earlyCtr := false
-	var ctrRes secmem.CtrResult
-	switch s.design.Early {
-	case secmem.EarlyPredicted:
-		pred = s.mc.DataPred.Predict(uint64(a.Addr))
-		predictedOff = pred.OffChip
-		if predictedOff && secure {
-			ctrRes = s.mc.CtrAccess(c, now, line, false)
-			earlyCtr = true
+	// Miss at the top: open the fetch plan (location prediction, early
+	// counter issue), then walk the lower levels.
+	plan := s.planFetch(c, now, req.Line, a.Addr)
+
+	req.Write = false
+	for i := 1; i < len(chain); i++ {
+		s.demand[i].accesses++
+		r = chain[i].Access(req)
+		lat += s.lats[i]
+		if r.Hit {
+			s.gradeOnChipHit(plan, now, a.Addr, write, i == len(chain)-1)
+			s.advance(c, write, a.Dep, lat)
+			return lat
 		}
-	case secmem.EarlyAll:
-		if secure {
-			ctrRes = s.mc.CtrAccess(c, now, line, false)
-			earlyCtr = true
-		}
+		s.demand[i].misses++
 	}
 
-	// L2
-	s.demand[1].accesses++
-	r2 := s.l2s[c].Access(line, false, a.Region)
-	if r2.Evicted && r2.EvictedDirty {
-		s.wbToLLC(c, now, r2.EvictedLine)
-	}
-	if r2.Hit {
-		if s.design.Early == secmem.EarlyPredicted {
-			s.mc.DataPred.Learn(pred, false)
-			if predictedOff && !write {
-				s.mc.WastedFetch(now, a.Addr)
-			}
-		}
-		lat := s.cfg.L1Lat + s.cfg.L2Lat
-		s.advance(c, write, a.Dep, lat)
-		return lat
-	}
-	s.demand[1].misses++
-
-	// LLC
-	s.demand[2].accesses++
-	r3 := s.llc.Access(line, false, a.Region)
-	if r3.Evicted && r3.EvictedDirty {
-		s.wbToDRAM(c, now, r3.EvictedLine)
-	}
-	if r3.Hit {
-		if s.design.Early == secmem.EarlyPredicted {
-			s.mc.DataPred.Learn(pred, false)
-			if predictedOff {
-				s.mc.WastedFetch(now, a.Addr)
-			}
-		}
-		lat := s.cfg.L1Lat + s.cfg.L2Lat + s.cfg.LLCLat
-		s.advance(c, write, a.Dep, lat)
-		return lat
-	}
-	s.demand[2].misses++
-
-	// Off-chip. All timing below is measured from t0 = the L1-miss
-	// point. Three event chains race:
-	//
-	//   data:  the DRAM read. Memory controllers issue it speculatively
-	//          in parallel with the LLC tag lookup (it starts after the
-	//          L2 miss for normal walks, right at t0 for predicted-off
-	//          bypasses — gated by the concurrent walk's confirmation).
-	//   ctr:   the counter pipeline + OTP generation (AES). It starts
-	//          at t0 for early designs (EMCC, predicted-off COSMOS) and
-	//          only after the LLC miss is detected for the baseline —
-	//          that serialisation is exactly what COSMOS removes.
-	//   walk:  the L2+LLC lookups, which must confirm the miss before
-	//          any speculative data can retire.
-	if s.design.Early == secmem.EarlyPredicted {
-		s.mc.DataPred.Learn(pred, true)
-	}
-	walkLat := s.cfg.L2Lat + s.cfg.LLCLat
-	if !earlyCtr && secure {
-		ctrRes = s.mc.CtrAccess(c, now, line, false)
-	}
-
-	dataLat := s.mc.DataDRAM(now, a.Addr, false)
-	var ctrReady uint64
-	if secure {
-		s.mc.MACAccess(c, now, line, false)
-		otp := ctrRes.Latency + s.cfg.MC.AESLat
-		if earlyCtr {
-			ctrReady = otp // counter pipeline started at t0
-		} else {
-			ctrReady = walkLat + otp // serialised behind the walk
-		}
-	}
-
-	var dataReady uint64
-	if predictedOff {
-		// Speculative fetch issued at t0; usable once the walk
-		// confirms the miss.
-		dataReady = max64(walkLat, dataLat)
-		s.bypassed++
-	} else {
-		// Without a prediction the DRAM read cannot issue before the
-		// LLC reports the miss (gem5-classic serialisation).
-		dataReady = walkLat + dataLat
-	}
-
-	fetchEnd := max64(dataReady, ctrReady)
-	if secure {
-		fetchEnd++ // final OTP XOR
-	}
-	lat := s.cfg.L1Lat + fetchEnd
+	// Off-chip: resolve the plan into the timed fetch path.
+	path := s.composeFetch(c, now, req.Line, a.Addr, plan)
+	fetchEnd := path.finish()
+	lat = s.l1Lat + fetchEnd
 	s.offChipReads++
 	s.fetchLatSum += fetchEnd
+	if path.predictedOff {
+		s.bypassed++
+	}
 
 	if s.fetchHist != nil {
 		s.fetchHist.Observe(fetchEnd)
 	}
 	if s.tracer != nil {
-		s.traceFetch(c, now, walkLat, dataLat, fetchEnd, ctrRes, secure, earlyCtr, predictedOff)
+		s.traceFetch(c, now, path)
 	}
 
 	s.advance(c, write, a.Dep, lat)
 	return lat
-}
-
-// traceFetch records the racing chains of one off-chip access as slices on
-// the core's lane, timestamped in thread cycles from t0 = the L1-miss point.
-func (s *System) traceFetch(c int, now, walkLat, dataLat, fetchEnd uint64, ctrRes secmem.CtrResult, secure, earlyCtr, predictedOff bool) {
-	t0 := now + s.cfg.L1Lat
-	s.tracer.Slice(c, tidFetch, "fetch", "offchip", t0, fetchEnd)
-	s.tracer.Slice(c, tidWalk, "l2+llc walk", "offchip", t0, walkLat)
-	if secure {
-		ctrStart := t0
-		if !earlyCtr {
-			ctrStart += walkLat // serialised behind the walk
-		}
-		name := "ctr+otp"
-		if ctrRes.Hit {
-			name = "ctr hit+otp"
-		}
-		s.tracer.Slice(c, tidCtr, name, "offchip", ctrStart, ctrRes.Latency+s.cfg.MC.AESLat)
-	}
-	dataStart := t0
-	name := "dram (speculative)"
-	if !predictedOff {
-		dataStart += walkLat // issue gated on the LLC miss
-		name = "dram"
-	}
-	s.tracer.Slice(c, tidData, name, "offchip", dataStart, dataLat)
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // advance applies the cycle cost of one access group to its thread: compute
@@ -400,11 +358,11 @@ func (s *System) advance(c int, write, dep bool, lat uint64) {
 	stall := lat
 	switch {
 	case write:
-		stall = s.cfg.L1Lat
+		stall = s.l1Lat
 	case dep:
 		// serialising load: the full latency lands on the thread
-	case lat > s.cfg.L1Lat:
-		stall = s.cfg.L1Lat + (lat-s.cfg.L1Lat)/s.cfg.MLP
+	case lat > s.l1Lat:
+		stall = s.l1Lat + (lat-s.l1Lat)/s.cfg.MLP
 	}
 	s.threadCycles[c] += s.cfg.NonMemCycles + stall
 }
@@ -426,19 +384,22 @@ func (s *System) Warmup(gen trace.Generator, n uint64) {
 
 // ResetStats zeroes measurements (not learned state); see Warmup.
 func (s *System) ResetStats() {
-	s.demand = [3]levelStats{}
+	for i := range s.demand {
+		s.demand[i] = levelStats{}
+	}
 	s.accesses, s.reads, s.writes = 0, 0, 0
 	s.offChipReads, s.fetchLatSum, s.bypassed = 0, 0, 0
 	for i := range s.threadCycles {
 		s.threadCycles[i] = 0
 	}
-	for _, c := range s.l1s {
-		c.Stats = cache.Stats{}
+	for c := range s.chains {
+		for i := 0; i < s.sharedFrom; i++ {
+			s.chains[c][i].ResetStats()
+		}
 	}
-	for _, c := range s.l2s {
-		c.Stats = cache.Stats{}
+	for i := s.sharedFrom; i < len(s.specs); i++ {
+		s.chains[0][i].ResetStats()
 	}
-	s.llc.Stats = cache.Stats{}
 	s.mc.ResetStats()
 }
 
@@ -530,7 +491,9 @@ type Results struct {
 	SMAT float64
 }
 
-// Results computes the final metrics.
+// Results computes the final metrics. Miss rates map the level chain onto
+// the fixed report fields: level 0 is L1, level 1 is L2, the last level is
+// the LLC.
 func (s *System) Results(workload string) Results {
 	var maxCycles uint64
 	for _, cyc := range s.threadCycles {
@@ -547,8 +510,6 @@ func (s *System) Results(workload string) Results {
 		Instructions: s.accesses * s.cfg.InstrPerAccess,
 		Cycles:       maxCycles,
 		L1MissRate:   s.demand[0].missRate(),
-		L2MissRate:   s.demand[1].missRate(),
-		LLCMissRate:  s.demand[2].missRate(),
 		CtrAccesses:  s.mc.CtrHits + s.mc.CtrMisses,
 		CtrMissRate:  s.mc.CtrMissRate(),
 		OffChipReads: s.offChipReads,
@@ -556,6 +517,10 @@ func (s *System) Results(workload string) Results {
 		Traffic:      s.mc.Traffic,
 		DRAM:         s.mc.DRAMStats(),
 		Prefetch:     s.mc.PrefetchStats(),
+	}
+	if len(s.demand) > 1 {
+		res.L2MissRate = s.demand[1].missRate()
+		res.LLCMissRate = s.demand[len(s.demand)-1].missRate()
 	}
 	if maxCycles > 0 {
 		res.IPC = float64(res.Instructions) / float64(maxCycles)
@@ -578,17 +543,14 @@ func (s *System) Results(workload string) Results {
 
 // smat evaluates Eq 1-2 with measured miss rates and the machine's
 // configured latencies; DRAM terms use the model's best-case read latency
-// plus an activation blend from the observed row-hit rate.
+// plus an activation blend from the observed row-hit rate. The walked term
+// folds over the level chain from the innermost level outward.
 func (s *System) smat() float64 {
 	cfg := s.cfg
 	d := s.mc.DRAMStats()
 	rowHit := d.RowHitRate()
 	dramLat := float64(cfg.MC.DRAM.TCAS+cfg.MC.DRAM.TBus+cfg.MC.DRAM.Queue)*rowHit +
 		float64(cfg.MC.DRAM.TRP+cfg.MC.DRAM.TRCD+cfg.MC.DRAM.TCAS+cfg.MC.DRAM.TBus+cfg.MC.DRAM.Queue)*(1-rowHit)
-
-	mrL1 := s.demand[0].missRate()
-	mrL2 := s.demand[1].missRate()
-	mrLLC := s.demand[2].missRate()
 
 	var ctrTerm float64
 	if s.design.Secure {
@@ -604,7 +566,10 @@ func (s *System) smat() float64 {
 	if s.demand[0].misses > 0 {
 		b = float64(s.bypassed) / float64(s.demand[0].misses)
 	}
-	walked := float64(cfg.L2Lat) + mrL2*(float64(cfg.LLCLat)+mrLLC*(ctrTerm+dramLat))
 	direct := ctrTerm + dramLat
-	return float64(cfg.L1Lat) + mrL1*((1-b)*walked+b*direct)
+	walked := direct
+	for i := len(s.specs) - 1; i >= 1; i-- {
+		walked = float64(s.lats[i]) + s.demand[i].missRate()*walked
+	}
+	return float64(s.l1Lat) + s.demand[0].missRate()*((1-b)*walked+b*direct)
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"cosmos/internal/cache"
 	"cosmos/internal/memsys"
 	"cosmos/internal/secmem"
 	"cosmos/internal/trace"
@@ -24,11 +25,12 @@ func TestWarmupClearsMeasurementsKeepsState(t *testing.T) {
 	}
 	// Learned state survives: the first post-warmup access to a recently
 	// touched hot line should hit on-chip.
-	hits0 := s.l1s[0].Stats.Hits
+	l1 := s.Chain(0)[0].(*cache.Level).Cache()
+	hits0 := l1.Stats.Hits
 	probe := memsys.Access{Addr: 1 << 28}
 	s.Step(probe)
 	s.Step(probe)
-	if s.l1s[0].Stats.Hits == hits0 {
+	if l1.Stats.Hits == hits0 {
 		t.Fatal("caches were flushed by warmup")
 	}
 }

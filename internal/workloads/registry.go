@@ -138,7 +138,8 @@ func Build(name string, o Options) (trace.Generator, error) {
 			return Inference(m, o.Threads, o.Seed), nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %s, or file:<path>)",
+		name, strings.Join(AllNames(), ", "))
 }
 
 // IsIrregular reports whether the workload belongs to the irregular class
