@@ -10,6 +10,11 @@
 // interrupted campaign rerun with the same directory executes only the
 // missing cells. SIGINT/SIGTERM (and -timeout) cancel mid-simulation and
 // the run drains gracefully, keeping everything finished so far.
+//
+// With -listen the campaign serves its live observability plane (see
+// DESIGN.md §8): /metrics (Prometheus), /runs (per-cell campaign state),
+// /events (SSE lifecycle + sampler stream), /healthz, /buildz and
+// /debug/pprof.
 package main
 
 import (
@@ -17,9 +22,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
-	"net/http"
-	_ "net/http/pprof"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"cosmos/internal/experiments"
+	"cosmos/internal/obs"
 	"cosmos/internal/runner"
 	"cosmos/internal/sim"
 	"cosmos/internal/telemetry"
@@ -39,9 +44,6 @@ func main() {
 }
 
 func run() int {
-	log.SetFlags(0)
-	log.SetPrefix("cosmos-bench: ")
-
 	var (
 		exp     = flag.String("exp", "all", "experiment id (fig2..fig17, tab1..tab4, abl-*, all)")
 		list    = flag.Bool("list", false, "print the available experiment ids and exit")
@@ -52,15 +54,24 @@ func run() int {
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
 		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
 
+		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
 		statsCSV   = flag.Bool("stats-csv", false, "emit -stats-out time-series as CSV instead of JSONL")
 		traceOut   = flag.String("trace-out", "", "write Chrome trace_event JSON, one <workload>_<design>.trace.json per simulation, into this directory")
 		traceLimit = flag.Int("trace-limit", 0, "max trace slices recorded per simulation (0 = default cap)")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("cosmos-bench", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-bench:", err)
+		return 1
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -81,23 +92,15 @@ func run() int {
 		defer cancel()
 	}
 
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Print(err)
+			logger.Error("cpuprofile", "err", err)
 			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Print(err)
+			logger.Error("cpuprofile", "err", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -105,28 +108,84 @@ func run() int {
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Print(err)
+			logger.Error("create output dir", "err", err)
 			return 1
 		}
 	}
 
+	// The run table drives the progress/ETA line on every campaign and the
+	// /runs endpoint when the plane is listening; the broker exists only
+	// with -listen (a nil broker publishes nothing).
+	var broker *obs.Broker
+	if *listen != "" {
+		broker = obs.NewBroker()
+	}
+	table := obs.NewRunTable(*par, broker)
+
 	lopts := []experiments.LabOption{
 		experiments.WithContext(ctx),
 		experiments.WithWorkers(*par),
+		experiments.WithLifecycle(func(t runner.Transition) {
+			table.Observe(t)
+			if t.Phase != runner.PhaseDone || t.Source == runner.SourceDeduplicated {
+				return
+			}
+			done, total, running := table.Progress()
+			args := []any{
+				"cell", t.Label,
+				"source", t.Source.String(),
+				"done", done, "total", total, "running", running,
+			}
+			if t.Source == runner.SourceExecuted {
+				args = append(args, "exec_time", t.ExecTime.Round(time.Millisecond))
+			}
+			if t.Err != nil {
+				args = append(args, "err", t.Err)
+			}
+			if eta, ok := table.ETA(); ok {
+				args = append(args, "eta", eta.Round(time.Second))
+			}
+			logger.Info("progress", args...)
+		}),
 	}
+	var store *runner.Store
 	if *results != "" {
-		st, err := runner.OpenStore(*results)
+		store, err = runner.OpenStore(*results)
 		if err != nil {
-			log.Print(err)
+			logger.Error("open results dir", "err", err)
 			return 1
 		}
-		if n := st.Len(); n > 0 {
-			log.Printf("results dir %s holds %d completed runs; resuming", st.Dir(), n)
+		if n := store.Len(); n > 0 {
+			logger.Info("resuming campaign", "results_dir", store.Dir(), "completed_runs", n)
 		}
-		lopts = append(lopts, experiments.WithStore(st))
+		lopts = append(lopts, experiments.WithStore(store))
 	}
 	lab := experiments.NewLab(experiments.Scaled(*scale), lopts...)
-	lab.Instrument = instrumentHook(*statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit)
+	lab.Instrument = instrumentHook(logger, *statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit, broker)
+
+	if *listen != "" {
+		reg := telemetry.NewRegistry()
+		lab.Orchestrator().RegisterMetrics(reg.Root())
+		srv := obs.NewServer(obs.Config{
+			Component: "cosmos-bench",
+			Registry:  reg,
+			Runs:      table,
+			Events:    broker,
+			Logger:    logger,
+		})
+		if err := srv.Start(*listen); err != nil {
+			logger.Error("observability plane", "err", err)
+			return 1
+		}
+		logger.Info("observability plane listening", "addr", srv.URL())
+		defer func() {
+			sdCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sdCtx); err != nil {
+				logger.Warn("observability plane shutdown", "err", err)
+			}
+		}()
+	}
 
 	code := 0
 	// The summary prints on every exit path — including interrupts — so a
@@ -140,6 +199,12 @@ func run() int {
 			fmt.Printf("simulation wall time %.1fs, worker queue wait %.1fs\n",
 				st.ExecTime.Seconds(), st.QueueWait.Seconds())
 		}
+		if store != nil {
+			hits, misses, corrupt := store.Counters()
+			logger.Info("result store summary",
+				"hits", hits, "misses", misses, "corrupt_recomputed", corrupt,
+				"memo_hits", st.Memoised)
+		}
 	}()
 
 	runExp := func(e experiments.Experiment) bool {
@@ -147,9 +212,9 @@ func run() int {
 		t, err := e.Run(lab)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				log.Printf("%s: campaign interrupted: %v", e.ID, err)
+				logger.Warn("campaign interrupted", "exp", e.ID, "err", err)
 			} else {
-				log.Printf("%s: %v", e.ID, err)
+				logger.Error("experiment failed", "exp", e.ID, "err", err)
 			}
 			code = 1
 			return false
@@ -157,7 +222,7 @@ func run() int {
 		if *out != "" {
 			path := filepath.Join(*out, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-				log.Print(err)
+				logger.Error("write csv", "path", path, "err", err)
 				code = 1
 				return false
 			}
@@ -176,7 +241,7 @@ func run() int {
 		if *par > 1 {
 			start := time.Now()
 			if err := experiments.Prewarm(lab); err != nil {
-				log.Printf("prewarm: %v", err)
+				logger.Error("prewarm failed", "err", err)
 				return 1
 			}
 			fmt.Printf("(prewarmed evaluation matrix with %d workers in %.1fs)\n\n", *par, time.Since(start).Seconds())
@@ -190,7 +255,7 @@ func run() int {
 	}
 	e, err := experiments.ByID(*exp)
 	if err != nil {
-		log.Print(err)
+		logger.Error("unknown experiment", "err", err)
 		return 1
 	}
 	runExp(e)
@@ -198,16 +263,22 @@ func run() int {
 }
 
 // instrumentHook builds the Lab.Instrument callback attaching telemetry to
-// every simulation the lab executes. Returns nil when no telemetry flag is
-// set, keeping the uninstrumented path identical to before.
-func instrumentHook(statsDir string, interval uint64, statsCSV bool, traceDir string, traceLimit int) func(string, *sim.System) func() {
-	if statsDir == "" && traceDir == "" {
+// every simulation the lab executes: file sinks for -stats-out/-trace-out
+// and, when the observability plane is up, a sampler feeding each run's
+// interval snapshots into the /events stream. Returns nil when nothing is
+// enabled, keeping the uninstrumented path identical to before.
+func instrumentHook(logger *slog.Logger, statsDir string, interval uint64, statsCSV bool, traceDir string, traceLimit int, broker *obs.Broker) func(string, *sim.System) func() {
+	if statsDir == "" && traceDir == "" && broker == nil {
 		return nil
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
 	}
 	for _, dir := range []string{statsDir, traceDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				log.Fatal(err)
+				fatal("create telemetry dir", err)
 			}
 		}
 	}
@@ -216,31 +287,46 @@ func instrumentHook(statsDir string, interval uint64, statsCSV bool, traceDir st
 		s.RegisterMetrics(reg.Root())
 
 		var cleanups []func()
-		if statsDir != "" {
-			ext := ".jsonl"
-			if statsCSV {
-				ext = ".csv"
+		if statsDir != "" || broker != nil {
+			var cfg telemetry.SamplerConfig
+			cfg.Interval = interval
+			var f *os.File
+			if statsDir != "" {
+				ext := ".jsonl"
+				if statsCSV {
+					ext = ".csv"
+				}
+				var err error
+				f, err = os.Create(filepath.Join(statsDir, label+ext))
+				if err != nil {
+					fatal("create stats sink", err)
+				}
+				if statsCSV {
+					cfg.CSV = f
+				} else {
+					cfg.JSONL = f
+				}
 			}
-			f, err := os.Create(filepath.Join(statsDir, label+ext))
-			if err != nil {
-				log.Fatal(err)
-			}
-			cfg := telemetry.SamplerConfig{Interval: interval}
-			if statsCSV {
-				cfg.CSV = f
-			} else {
-				cfg.JSONL = f
+			if broker != nil {
+				sink := broker.SampleWriter(label)
+				if cfg.JSONL != nil {
+					cfg.JSONL = io.MultiWriter(cfg.JSONL, sink)
+				} else {
+					cfg.JSONL = sink
+				}
 			}
 			sp, err := telemetry.NewSampler(reg, cfg)
 			if err != nil {
-				log.Fatal(err)
+				fatal("build sampler", err)
 			}
 			s.AttachSampler(sp)
 			cleanups = append(cleanups, func() {
 				if err := sp.Err(); err != nil {
-					log.Printf("stats sink %s: %v", label, err)
+					logger.Warn("stats sink", "run", label, "err", err)
 				}
-				f.Close()
+				if f != nil {
+					f.Close()
+				}
 			})
 		}
 		if traceDir != "" {
@@ -249,11 +335,11 @@ func instrumentHook(statsDir string, interval uint64, statsCSV bool, traceDir st
 			cleanups = append(cleanups, func() {
 				f, err := os.Create(filepath.Join(traceDir, label+".trace.json"))
 				if err != nil {
-					log.Fatal(err)
+					fatal("create trace sink", err)
 				}
 				defer f.Close()
 				if err := tr.WriteJSON(f); err != nil {
-					log.Printf("trace sink %s: %v", label, err)
+					logger.Warn("trace sink", "run", label, "err", err)
 				}
 			})
 		}

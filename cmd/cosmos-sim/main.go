@@ -6,6 +6,12 @@
 //
 //	cosmos-sim -workload DFS -design COSMOS -accesses 2000000
 //	cosmos-sim -workload mcf -design MorphCtr -accesses 1000000 -cores 8
+//	cosmos-sim -workload DFS -design COSMOS -listen localhost:9090
+//
+// With -listen the simulation serves its live observability plane while it
+// runs: /metrics exposes the full telemetry registry of the system in
+// Prometheus text format, /events streams interval-sampler snapshots, and
+// /debug/pprof profiles the simulator itself.
 package main
 
 import (
@@ -13,15 +19,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
-	"net/http"
-	_ "net/http/pprof"
+	"io"
 	"os"
 	"os/signal"
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
+	"cosmos/internal/obs"
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/stats"
@@ -31,9 +38,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cosmos-sim: ")
-
 	var (
 		workload  = flag.String("workload", "DFS", "workload name ("+strings.Join(workloads.AllNames(), ", ")+")")
 		design    = flag.String("design", "COSMOS", "design point ("+strings.Join(secmem.DesignNames(), ", ")+")")
@@ -49,14 +53,27 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 
+		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
 		traceOut   = flag.String("trace-out", "", "write off-chip access event traces as Chrome trace_event JSON (Perfetto/about://tracing)")
 		traceLimit = flag.Int("trace-limit", 0, "max trace slices recorded (0 = default cap)")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("cosmos-sim", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-sim:", err)
+		os.Exit(1)
+	}
+	die := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM (or -timeout) stop the simulation within
 	// sim.CancelCheckEvery steps; the metrics accumulated so far still
@@ -69,18 +86,9 @@ func main() {
 		defer cancel()
 	}
 
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-	}
-
 	d, err := secmem.DesignByName(*design)
 	if err != nil {
-		log.Fatal(err)
+		die("resolve design", err)
 	}
 	d.CtrPolicy = *ctrPolicy
 	d.CtrPrefetcher = *ctrPf
@@ -99,34 +107,52 @@ func main() {
 		Threads: *cores, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
 	})
 	if err != nil {
-		log.Fatal(err)
+		die("build workload", err)
 	}
 
 	s := sim.New(cfg, d)
+	label := *workload + "_" + d.Name
 
-	if *statsOut != "" || *traceOut != "" {
+	var broker *obs.Broker
+	var table *obs.RunTable
+	if *listen != "" {
+		broker = obs.NewBroker()
+		table = obs.NewRunTable(1, broker)
+	}
+
+	if *statsOut != "" || *traceOut != "" || *listen != "" {
 		reg := telemetry.NewRegistry()
 		s.RegisterMetrics(reg.Root())
+		sinks := telemetry.SamplerConfig{Interval: *statsIvl}
 		if *statsOut != "" {
 			f, err := os.Create(*statsOut)
 			if err != nil {
-				log.Fatal(err)
+				die("create stats sink", err)
 			}
 			defer f.Close()
-			scfg := telemetry.SamplerConfig{Interval: *statsIvl}
 			if strings.HasSuffix(*statsOut, ".csv") {
-				scfg.CSV = f
+				sinks.CSV = f
 			} else {
-				scfg.JSONL = f
+				sinks.JSONL = f
 			}
-			sp, err := telemetry.NewSampler(reg, scfg)
+		}
+		if broker != nil {
+			bw := broker.SampleWriter(label)
+			if sinks.JSONL != nil {
+				sinks.JSONL = io.MultiWriter(bw, sinks.JSONL)
+			} else {
+				sinks.JSONL = bw
+			}
+		}
+		if sinks.JSONL != nil || sinks.CSV != nil {
+			sp, err := telemetry.NewSampler(reg, sinks)
 			if err != nil {
-				log.Fatal(err)
+				die("build sampler", err)
 			}
 			s.AttachSampler(sp)
 			defer func() {
 				if err := sp.Err(); err != nil {
-					log.Fatalf("stats sink: %v", err)
+					die("stats sink", err)
 				}
 			}()
 		}
@@ -136,15 +162,33 @@ func main() {
 			defer func() {
 				f, err := os.Create(*traceOut)
 				if err != nil {
-					log.Fatal(err)
+					die("create trace sink", err)
 				}
 				defer f.Close()
 				if err := tr.WriteJSON(f); err != nil {
-					log.Fatalf("trace sink: %v", err)
+					die("trace sink", err)
 				}
 				if n := tr.Dropped(); n > 0 {
-					log.Printf("trace: %d slices dropped (event cap reached; raise -trace-limit)", n)
+					logger.Warn("trace slices dropped (event cap reached; raise -trace-limit)", "dropped", n)
 				}
+			}()
+		}
+		if *listen != "" {
+			srv := obs.NewServer(obs.Config{
+				Component: "cosmos-sim",
+				Registry:  reg,
+				Runs:      table,
+				Events:    broker,
+				Logger:    logger,
+			})
+			if err := srv.Start(*listen); err != nil {
+				die("observability plane", err)
+			}
+			logger.Info("observability plane listening", "addr", srv.URL())
+			defer func() {
+				sdCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				defer cancel()
+				_ = srv.Shutdown(sdCtx)
 			}()
 		}
 	}
@@ -152,25 +196,36 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			die("create cpuprofile", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			die("start cpuprofile", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
+	// The single simulation appears as a one-cell run table on /runs.
+	if table != nil {
+		table.Observe(runner.Transition{Key: label, Label: label, Phase: runner.PhaseRunning})
+	}
+	started := time.Now()
 	r, runErr := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
+	if table != nil {
+		table.Observe(runner.Transition{
+			Key: label, Label: label, Phase: runner.PhaseDone,
+			Source: runner.SourceExecuted, ExecTime: time.Since(started), Err: runErr,
+		})
+	}
 	if runErr != nil {
-		log.Printf("simulation stopped after %d of %d accesses: %v (results below are partial)",
-			r.Accesses, *accesses, runErr)
+		logger.Warn("simulation stopped early; results are partial",
+			"completed", r.Accesses, "requested", *accesses, "err", runErr)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
-			log.Fatal(err)
+			die("encode results", err)
 		}
 		return
 	}

@@ -10,23 +10,22 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"cosmos/internal/memsys"
+	"cosmos/internal/obs"
 	"cosmos/internal/stats"
+	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
 	"cosmos/internal/workloads"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cosmos-trace: ")
-
 	var (
 		workload = flag.String("workload", "DFS", "workload ("+strings.Join(workloads.AllNames(), ", ")+")")
 		accesses = flag.Uint64("accesses", 500_000, "accesses to sample")
@@ -35,8 +34,22 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "seed")
 		dump     = flag.Uint64("dump", 0, "print the first N raw accesses")
 		export   = flag.String("export", "", "write the sampled accesses to a trace file (.trc or .trc.gz) instead of profiling")
+
+		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("cosmos-trace", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-trace:", err)
+		os.Exit(1)
+	}
+	die := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM stop the sampling loop; the profile of the accesses
 	// gathered so far still prints.
@@ -48,34 +61,58 @@ func main() {
 		Threads: 4, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
 	})
 	if err != nil {
-		log.Fatal(err)
+		die("build workload", err)
 	}
 	defer trace.CloseIfCloser(gen)
+
+	var (
+		reads, writes uint64
+	)
+
+	if *listen != "" {
+		// The profiler's registry: live progress of the sampling loop. The
+		// loop is single-writer; scrapes read the counters torn-read
+		// tolerantly (see DESIGN.md §8).
+		reg := telemetry.NewRegistry()
+		sc := reg.Scope("trace")
+		sc.Counter("reads", &reads)
+		sc.Counter("writes", &writes)
+		sc.CounterFunc("accesses_sampled", func() uint64 { return reads + writes })
+		srv := obs.NewServer(obs.Config{Component: "cosmos-trace", Registry: reg, Logger: logger})
+		if err := srv.Start(*listen); err != nil {
+			die("observability plane", err)
+		}
+		logger.Info("observability plane listening", "addr", srv.URL())
+		defer func() {
+			sdCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sdCtx)
+		}()
+	}
 
 	if *export != "" {
 		n, err := trace.WriteFile(*export, gen, *accesses)
 		if err != nil {
-			log.Fatal(err)
+			die("export trace", err)
 		}
 		fmt.Printf("wrote %d accesses of %s to %s\n", n, *workload, *export)
 		return
 	}
 
 	var (
-		reads, writes uint64
-		lines         = map[uint64]uint64{} // line → touch count
-		ctrBlocks     = map[uint64]bool{}
-		perRegion     = map[uint16]uint64{}
-		perThread     = map[uint8]uint64{}
-		lastByThread  = map[uint8]uint64{}
-		seq, jumps    uint64
+		lines        = map[uint64]uint64{} // line → touch count
+		ctrBlocks    = map[uint64]bool{}
+		perRegion    = map[uint16]uint64{}
+		perThread    = map[uint8]uint64{}
+		lastByThread = map[uint8]uint64{}
+		seq, jumps   uint64
 	)
 sampling:
 	for i := uint64(0); i < *accesses; i++ {
 		if i&4095 == 0 {
 			select {
 			case <-done:
-				log.Printf("interrupted after %d accesses; profiling what was sampled", i)
+				logger.Warn("interrupted; profiling what was sampled", "accesses", i)
 				break sampling
 			default:
 			}
@@ -109,7 +146,7 @@ sampling:
 	}
 	total := reads + writes
 	if total == 0 {
-		log.Fatal("workload produced no accesses")
+		die("profile", fmt.Errorf("workload produced no accesses"))
 	}
 
 	reuse := uint64(0)

@@ -14,25 +14,26 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"cosmos/internal/core"
 	"cosmos/internal/experiments"
+	"cosmos/internal/obs"
 	"cosmos/internal/rl"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
+	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
 	"cosmos/internal/workloads"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cosmos-tune: ")
-
 	var (
 		phase    = flag.String("phase", "hyper", "search phase: hyper | rewards")
 		trials   = flag.Int("trials", 100, "random combinations to test (paper: 1000)")
@@ -40,8 +41,22 @@ func main() {
 		workload = flag.String("workload", "DFS", "tuning workload (paper: GraphBIG DFS)")
 		seed     = flag.Uint64("seed", 7, "search seed")
 		top      = flag.Int("top", 10, "results to print")
+
+		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("cosmos-tune", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-tune:", err)
+		os.Exit(1)
+	}
+	die := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM stop the search between (or mid-) trials; the ranking
 	// over the trials completed so far still prints.
@@ -56,6 +71,27 @@ func main() {
 	var results []result
 	interrupted := false
 
+	// Search progress for the observability plane (atomics: the serving
+	// goroutine reads while the search loop writes).
+	var trialsDone atomic.Uint64
+	var bestMilli atomic.Uint64 // best hit rate × 1000
+	if *listen != "" {
+		reg := telemetry.NewRegistry()
+		sc := reg.Scope("tune")
+		sc.CounterFunc("trials_done", trialsDone.Load)
+		sc.Gauge("best_hit_rate", func() float64 { return float64(bestMilli.Load()) / 1000 })
+		srv := obs.NewServer(obs.Config{Component: "cosmos-tune", Registry: reg, Logger: logger})
+		if err := srv.Start(*listen); err != nil {
+			die("observability plane", err)
+		}
+		logger.Info("observability plane listening", "addr", srv.URL())
+		defer func() {
+			sdCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sdCtx)
+		}()
+	}
+
 	evaluate := func(p core.Params, desc string) {
 		if interrupted {
 			return
@@ -66,18 +102,24 @@ func main() {
 			GraphDegree: experiments.SmallScale().GraphDegree,
 		})
 		if err != nil {
-			log.Fatal(err)
+			die("build workload", err)
 		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Params = p
 		s := sim.New(cfg, secmem.DesignCosmos())
 		r, err := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
 		if err != nil {
-			log.Printf("search interrupted: %v (ranking the %d completed trials)", err, len(results))
+			logger.Warn("search interrupted; ranking completed trials",
+				"completed", len(results), "err", err)
 			interrupted = true
 			return
 		}
-		results = append(results, result{desc: desc, hitRate: 1 - r.CtrMissRate})
+		hit := 1 - r.CtrMissRate
+		results = append(results, result{desc: desc, hitRate: hit})
+		trialsDone.Add(1)
+		if m := uint64(math.Round(hit * 1000)); m > bestMilli.Load() {
+			bestMilli.Store(m)
+		}
 	}
 
 	base := core.DefaultParams()
@@ -111,7 +153,7 @@ func main() {
 		}
 		evaluate(base, "PAPER: Table 1 rewards")
 	default:
-		log.Fatalf("unknown phase %q", *phase)
+		die("phase", fmt.Errorf("unknown phase %q", *phase))
 	}
 
 	sort.Slice(results, func(i, j int) bool { return results[i].hitRate > results[j].hitRate })

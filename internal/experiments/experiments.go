@@ -111,10 +111,11 @@ type Lab struct {
 type LabOption func(*labOptions)
 
 type labOptions struct {
-	ctx      context.Context
-	workers  int
-	store    *runner.Store
-	observer func(runner.Event)
+	ctx       context.Context
+	workers   int
+	store     *runner.Store
+	observer  func(runner.Event)
+	lifecycle func(runner.Transition)
 }
 
 // WithContext binds every simulation the lab runs to ctx: on cancellation
@@ -142,6 +143,13 @@ func WithObserver(f func(runner.Event)) LabOption {
 	return func(o *labOptions) { o.observer = f }
 }
 
+// WithLifecycle forwards every run request's phase transitions (queued →
+// running → done) to f — the feed behind live run tables and progress/ETA
+// reporting. May be called concurrently.
+func WithLifecycle(f func(runner.Transition)) LabOption {
+	return func(o *labOptions) { o.lifecycle = f }
+}
+
 // NewLab creates a result-sharing experiment context.
 func NewLab(sc Scale, opts ...LabOption) *Lab {
 	o := labOptions{ctx: context.Background()}
@@ -151,6 +159,7 @@ func NewLab(sc Scale, opts ...LabOption) *Lab {
 	l := &Lab{Scale: sc, ctx: o.ctx}
 	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store})
 	l.orch.Observer = o.observer
+	l.orch.Lifecycle = o.lifecycle
 	l.orch.Instrument = func(label string, s *sim.System) func() {
 		if f := l.Instrument; f != nil {
 			return f(label, s)

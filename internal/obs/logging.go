@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. format is "text" (logfmt-ish,
+// human-first) or "json" (one machine-parseable object per line); level is
+// one of "debug", "info", "warn", "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (have debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (have text, json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// SetupLogger is the cmd entry point for structured logging: it builds a
+// stderr logger tagged with the component name, installs it as the slog
+// default (so library packages logging through slog.Default inherit it) and
+// returns it.
+func SetupLogger(component, format, level string) (*slog.Logger, error) {
+	l, err := NewLogger(os.Stderr, format, level)
+	if err != nil {
+		return nil, err
+	}
+	l = l.With("component", component)
+	slog.SetDefault(l)
+	return l, nil
+}

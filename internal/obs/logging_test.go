@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", 1)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != float64(1) {
+		t.Fatalf("record = %v", rec)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("filtered out")
+	l.Warn("kept")
+	if s := buf.String(); strings.Contains(s, "filtered out") || !strings.Contains(s, "kept") {
+		t.Fatalf("level filtering broken:\n%s", s)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Error("unknown level must error")
+	}
+}

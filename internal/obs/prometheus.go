@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosmos/internal/telemetry"
+)
+
+// Prometheus text-format exposition (version 0.0.4) bridged from the
+// telemetry registry.
+//
+// Mapping rules:
+//
+//   - every family is prefixed "cosmos_" and the dotted telemetry path is
+//     flattened with underscores: "secmem.ctr.hits" → cosmos_secmem_ctr_hits;
+//   - a leading per-core scope becomes a label instead of a name: the four
+//     metrics core{0..3}.l1.misses collapse into one family
+//     cosmos_l1_misses{core="N"} so dashboards aggregate across cores
+//     without regexes;
+//   - counters expose as counter, gauges as gauge, telemetry rates as the
+//     cumulative ratio num/den in a gauge (scrape-to-scrape rates belong to
+//     PromQL), histograms as native Prometheus histograms whose le bounds
+//     are the log2 bucket upper bounds.
+//
+// Any character outside [a-zA-Z0-9_:] is replaced by '_'; two telemetry
+// names that collide after sanitization share one family (the first
+// registered wins the TYPE line).
+
+// MetricsContentType is the Content-Type of the /metrics response.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// corePrefix recognises a leading per-core scope component ("core12") and
+// returns the core id.
+func corePrefix(s string) (id string, ok bool) {
+	if !strings.HasPrefix(s, "core") {
+		return "", false
+	}
+	d := s[len("core"):]
+	if d == "" {
+		return "", false
+	}
+	for _, r := range d {
+		if r < '0' || r > '9' {
+			return "", false
+		}
+	}
+	return d, true
+}
+
+// sanitizeMetricName maps an arbitrary telemetry path component string onto
+// the Prometheus metric-name charset: every rune outside [a-zA-Z0-9_:]
+// becomes '_'. Idempotent.
+func sanitizeMetricName(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil {
+			b = append([]byte{}, s[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// promName splits one telemetry metric name into its Prometheus family name
+// and label pairs.
+func promName(name string) (family, labels string) {
+	parts := strings.Split(name, ".")
+	if len(parts) > 1 {
+		if id, ok := corePrefix(parts[0]); ok {
+			labels = `core="` + id + `"`
+			parts = parts[1:]
+		}
+	}
+	return "cosmos_" + sanitizeMetricName(strings.Join(parts, "_")), labels
+}
+
+type promSample struct {
+	labels string
+	s      telemetry.Sample
+}
+
+type promFamily struct {
+	name    string
+	source  string // the (core-stripped) telemetry path, for the HELP line
+	kind    telemetry.Kind
+	samples []promSample
+}
+
+func promType(k telemetry.Kind) string {
+	switch k {
+	case telemetry.KindCounter:
+		return "counter"
+	case telemetry.KindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteMetrics writes the registry's current values as Prometheus text
+// exposition. Families are emitted in sorted name order, samples within a
+// family in registration order, so equal registry states produce identical
+// output (the golden-file contract).
+func WriteMetrics(w io.Writer, reg *telemetry.Registry) error {
+	fams := make(map[string]*promFamily)
+	var order []string
+	for _, s := range reg.Snapshot() {
+		name, labels := promName(s.Name)
+		f := fams[name]
+		if f == nil {
+			source := s.Name
+			if labels != "" {
+				source = s.Name[strings.Index(s.Name, ".")+1:]
+			}
+			f = &promFamily{name: name, source: source, kind: s.Kind}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.samples = append(f.samples, promSample{labels: labels, s: s})
+	}
+	sort.Strings(order)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(bw, "# HELP %s COSMOS telemetry %s %q\n", f.name, f.kind, f.source)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, promType(f.kind))
+		for _, ps := range f.samples {
+			writeSample(bw, f.name, ps)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w *bufio.Writer, name string, ps promSample) {
+	brace := func(extra string) string {
+		switch {
+		case ps.labels == "" && extra == "":
+			return ""
+		case ps.labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + ps.labels + "}"
+		}
+		return "{" + ps.labels + "," + extra + "}"
+	}
+	switch ps.s.Kind {
+	case telemetry.KindCounter:
+		fmt.Fprintf(w, "%s%s %d\n", name, brace(""), ps.s.Counter)
+	case telemetry.KindGauge, telemetry.KindRate:
+		fmt.Fprintf(w, "%s%s %s\n", name, brace(""), formatFloat(ps.s.Value()))
+	case telemetry.KindHistogram:
+		h := ps.s.Hist
+		last := -1
+		for i, c := range h.Buckets {
+			if c > 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += h.Buckets[i]
+			_, hi := telemetry.BucketBounds(i)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le="`+strconv.FormatUint(hi, 10)+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", name, brace(""), h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.Count)
+	}
+}
+
+// writeProcessMetrics appends the plane's own process-level gauges to a
+// /metrics response: uptime, goroutines and heap, enough to see that a
+// multi-hour campaign is alive and not leaking.
+func writeProcessMetrics(w io.Writer, start time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP cosmos_process_uptime_seconds Seconds since the observability plane started\n")
+	fmt.Fprintf(w, "# TYPE cosmos_process_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "cosmos_process_uptime_seconds %s\n", formatFloat(time.Since(start).Seconds()))
+	fmt.Fprintf(w, "# HELP cosmos_go_goroutines Live goroutine count\n")
+	fmt.Fprintf(w, "# TYPE cosmos_go_goroutines gauge\n")
+	fmt.Fprintf(w, "cosmos_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP cosmos_go_heap_alloc_bytes Bytes of allocated heap objects\n")
+	fmt.Fprintf(w, "# TYPE cosmos_go_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "cosmos_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+}

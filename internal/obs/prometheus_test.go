@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cosmos/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"hits", "hits"},
+		{"queue_wait_us", "queue_wait_us"},
+		{"a:b", "a:b"},
+		{"row-hit rate", "row_hit_rate"},
+		{"walk/bypass%", "walk_bypass_"},
+		{"", ""},
+		{"λmetric", "__metric"}, // multi-byte runes sanitize per byte
+	}
+	for _, c := range cases {
+		if got := sanitizeMetricName(c.in); got != c.want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSanitizeMetricNameProperties checks the two contract properties over a
+// generated corpus: the output only contains [a-zA-Z0-9_:], and sanitizing is
+// idempotent.
+func TestSanitizeMetricNameProperties(t *testing.T) {
+	valid := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c == '_' || c == ':' ||
+				('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	var corpus []string
+	for b := 0; b < 256; b++ {
+		corpus = append(corpus,
+			string([]byte{byte(b)}),
+			"x"+string([]byte{byte(b)})+"y",
+			strings.Repeat(string([]byte{byte(b)}), 3))
+	}
+	corpus = append(corpus, "l1.misses", "core0.l1", "fetch latency (cycles)", "ünïcode.metric")
+	for _, in := range corpus {
+		got := sanitizeMetricName(in)
+		if !valid(got) {
+			t.Fatalf("sanitizeMetricName(%q) = %q: invalid output rune", in, got)
+		}
+		if len(got) != len(in) {
+			t.Fatalf("sanitizeMetricName(%q) = %q: length changed", in, got)
+		}
+		if again := sanitizeMetricName(got); again != got {
+			t.Fatalf("not idempotent: %q → %q → %q", in, got, again)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := []struct {
+		in, family, labels string
+	}{
+		{"sim.accesses", "cosmos_sim_accesses", ""},
+		{"secmem.ctr.hits", "cosmos_secmem_ctr_hits", ""},
+		{"core0.l1.misses", "cosmos_l1_misses", `core="0"`},
+		{"core12.lcr.evictions", "cosmos_lcr_evictions", `core="12"`},
+		// "core" without digits is an ordinary scope, not a label.
+		{"core.thing", "cosmos_core_thing", ""},
+		{"corex.thing", "cosmos_corex_thing", ""},
+		// A bare metric name never becomes a label.
+		{"core1", "cosmos_core1", ""},
+	}
+	for _, c := range cases {
+		family, labels := promName(c.in)
+		if family != c.family || labels != c.labels {
+			t.Errorf("promName(%q) = (%q, %q), want (%q, %q)", c.in, family, labels, c.family, c.labels)
+		}
+	}
+}
+
+// goldenRegistry builds a registry exercising every metric kind and the
+// core-scope label collapse, with fixed values.
+func goldenRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	root := reg.Root()
+
+	var accesses uint64 = 1_000_000
+	root.Scope("sim").Counter("accesses", &accesses)
+
+	for core, misses := range []uint64{10, 20, 30, 40} {
+		v := misses
+		root.Scope("core"+string(rune('0'+core))).Scope("l1").Counter("misses", &v)
+	}
+
+	sm := root.Scope("secmem")
+	sm.Gauge("occupancy", func() float64 { return 0.5 })
+	var hits, lookups uint64 = 75, 100
+	sm.RateOf("hit_rate", &hits, &lookups)
+
+	h := root.Scope("dram").Histogram("fetch latency (cycles)")
+	for _, v := range []uint64{1, 2, 3, 100, 200} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWriteMetricsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteMetrics(&out, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Bytes()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/metrics exposition diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteMetricsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteMetrics(&a, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two expositions of equal registries differ")
+	}
+}
+
+func TestWriteMetricsCoreCollapse(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteMetrics(&out, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if n := strings.Count(s, "# TYPE cosmos_l1_misses counter"); n != 1 {
+		t.Errorf("per-core counters must collapse into one family, got %d TYPE lines", n)
+	}
+	for _, want := range []string{
+		`cosmos_l1_misses{core="0"} 10`,
+		`cosmos_l1_misses{core="3"} 40`,
+		"cosmos_secmem_hit_rate 0.75",
+		`cosmos_dram_fetch_latency__cycles__bucket{le="+Inf"} 5`,
+		"cosmos_dram_fetch_latency__cycles__sum 306",
+		"cosmos_dram_fetch_latency__cycles__count 5",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exposition is missing %q\n%s", want, s)
+		}
+	}
+}

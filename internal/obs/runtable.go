@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cosmos/internal/runner"
+)
+
+// RunTable is the live state of a campaign: one Cell per run-request key,
+// maintained from the orchestrator's Lifecycle transitions and served as
+// JSON on /runs (and, transition by transition, on /events). It is the
+// answer to "what is this multi-hour cosmos-bench actually doing right
+// now": which cells are waiting, which are executing on a worker, what
+// finished where (executed / memo / store) and how long everything took.
+type RunTable struct {
+	workers int
+	broker  *Broker          // optional: transitions are also published here
+	now     func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	cells   map[string]*Cell
+	order   []string // insertion order, for stable /runs output
+	sources map[string]int
+	execSum time.Duration // over executed cells, for the ETA estimate
+	execN   int
+}
+
+// Cell is the state of one run request.
+type Cell struct {
+	Key    string `json:"key"`
+	Label  string `json:"label"`
+	Status string `json:"status"` // "queued" | "running" | "done" | "failed"
+	// Source is set once done: "executed", "memoised", "restored" or
+	// "deduplicated".
+	Source      string `json:"source,omitempty"`
+	QueueWaitMS int64  `json:"queue_wait_ms"`
+	ExecMS      int64  `json:"exec_ms"`
+	// StartedUnixMS / FinishedUnixMS are wall-clock unix milliseconds of
+	// the first and terminal transition (0 = not reached yet).
+	StartedUnixMS  int64  `json:"started_unix_ms"`
+	FinishedUnixMS int64  `json:"finished_unix_ms,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// NewRunTable creates a run table for a pool of the given worker capacity.
+// broker may be nil (no /events fan-out).
+func NewRunTable(workers int, broker *Broker) *RunTable {
+	if workers < 1 {
+		workers = 1
+	}
+	return &RunTable{
+		workers: workers,
+		broker:  broker,
+		now:     time.Now,
+		cells:   make(map[string]*Cell),
+		sources: make(map[string]int),
+	}
+}
+
+// Observe is the runner Lifecycle hook: assign it to Orchestrator.Lifecycle
+// (or wrap it). Safe for concurrent use.
+func (t *RunTable) Observe(tr runner.Transition) {
+	nowMS := t.now().UnixMilli()
+
+	t.mu.Lock()
+	c := t.cells[tr.Key]
+	if c == nil {
+		c = &Cell{Key: tr.Key, Label: tr.Label, StartedUnixMS: nowMS}
+		t.cells[tr.Key] = c
+		t.order = append(t.order, tr.Key)
+	}
+	switch tr.Phase {
+	case runner.PhaseQueued:
+		c.Status = "queued"
+	case runner.PhaseRunning:
+		c.Status = "running"
+		c.QueueWaitMS = tr.QueueWait.Milliseconds()
+	case runner.PhaseDone:
+		src := tr.Source.String()
+		t.sources[src]++
+		// A deduplicated follower finishing after its leader must not
+		// overwrite the leader's terminal state.
+		if c.Status == "done" || c.Status == "failed" {
+			break
+		}
+		if tr.Err != nil {
+			c.Status = "failed"
+			c.Error = tr.Err.Error()
+		} else {
+			c.Status = "done"
+		}
+		c.Source = src
+		c.QueueWaitMS = tr.QueueWait.Milliseconds()
+		c.ExecMS = tr.ExecTime.Milliseconds()
+		c.FinishedUnixMS = nowMS
+		if tr.Err == nil && tr.Source == runner.SourceExecuted {
+			t.execSum += tr.ExecTime
+			t.execN++
+		}
+	}
+	snapshot := *c
+	t.mu.Unlock()
+
+	if t.broker != nil {
+		t.broker.Publish("run", snapshot)
+	}
+}
+
+// Snapshot is the JSON shape of /runs.
+type Snapshot struct {
+	Workers int `json:"workers"`
+	// Occupancy: cells currently holding a worker slot / waiting for one.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// Sources counts terminal transitions by origin, including
+	// deduplicated followers of cells listed once below.
+	Sources map[string]int `json:"sources"`
+	// MeanExecMS is the mean simulation time of executed cells; ETASeconds
+	// estimates the remaining wall time (mean × remaining cells / workers).
+	// -1 = no estimate yet.
+	MeanExecMS float64 `json:"mean_exec_ms"`
+	ETASeconds float64 `json:"eta_seconds"`
+	Cells      []Cell  `json:"cells"`
+}
+
+// Snapshot returns the current table state, cells in first-seen order.
+func (t *RunTable) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Workers: t.workers,
+		Sources: make(map[string]int, len(t.sources)),
+		Cells:   make([]Cell, 0, len(t.order)),
+	}
+	for k, v := range t.sources {
+		s.Sources[k] = v
+	}
+	for _, key := range t.order {
+		c := *t.cells[key]
+		s.Cells = append(s.Cells, c)
+		switch c.Status {
+		case "running":
+			s.Running++
+		case "queued":
+			s.Queued++
+		case "done":
+			s.Done++
+		case "failed":
+			s.Failed++
+		}
+	}
+	s.MeanExecMS, s.ETASeconds = t.etaLocked()
+	return s
+}
+
+// Progress reports terminal vs known cells and current worker occupancy.
+func (t *RunTable) Progress() (done, total, running int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, key := range t.order {
+		switch t.cells[key].Status {
+		case "done", "failed":
+			done++
+		case "running":
+			running++
+		}
+	}
+	return done, len(t.order), running
+}
+
+// ETA estimates the remaining campaign wall time as the completed-cell
+// execution-time mean × remaining cells, divided across the worker pool.
+// ok is false until at least one cell has executed (restored and memoised
+// cells are nearly free and excluded from the mean).
+func (t *RunTable) ETA() (eta time.Duration, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, sec := t.etaLocked()
+	if sec < 0 {
+		return 0, false
+	}
+	return time.Duration(sec * float64(time.Second)), true
+}
+
+func (t *RunTable) etaLocked() (meanMS, etaSeconds float64) {
+	if t.execN == 0 {
+		return -1, -1
+	}
+	mean := t.execSum / time.Duration(t.execN)
+	remaining := 0
+	for _, key := range t.order {
+		switch t.cells[key].Status {
+		case "queued", "running":
+			remaining++
+		}
+	}
+	eta := mean * time.Duration(remaining) / time.Duration(t.workers)
+	return float64(mean.Milliseconds()), eta.Seconds()
+}
+
+// SortedSources returns the observed sources in name order (for stable
+// summary lines).
+func (t *RunTable) SortedSources() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.sources))
+	for k := range t.sources {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthzAndBuildz(t *testing.T) {
+	srv := NewServer(Config{Component: "cosmos-test"})
+	for _, path := range []string{"/healthz", "/buildz"} {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rec.Code)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got["component"] != "cosmos-test" {
+			t.Fatalf("%s component = %v", path, got["component"])
+		}
+	}
+}
+
+func TestMetricsEndpointServesProcessMetrics(t *testing.T) {
+	srv := NewServer(Config{Component: "cosmos-test", Registry: goldenRegistry()})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"cosmos_sim_accesses 1000000", "cosmos_process_uptime_seconds", "cosmos_go_goroutines"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// sseFrame is one parsed id/event/data frame.
+type sseFrame struct {
+	id    uint64
+	event string
+	data  string
+}
+
+// readFrames consumes SSE frames until the stream ends, skipping comments
+// and the retry hint.
+func readFrames(r io.Reader, into chan<- sseFrame) error {
+	sc := bufio.NewScanner(r)
+	var f sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if f.event != "" || f.data != "" {
+				into <- f
+			}
+			f = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			f.id, _ = strconv.ParseUint(line[4:], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[6:]
+		}
+	}
+	return sc.Err()
+}
+
+// TestEventsStream checks the SSE contract end to end over a real listener:
+// events arrive in publish order with monotonically increasing ids, sampler
+// lines surface as labelled "sample" events, and Shutdown mid-stream ends
+// the response cleanly (EOF, not a reset).
+func TestEventsStream(t *testing.T) {
+	broker := NewBroker()
+	srv := NewServer(Config{Component: "cosmos-test", Events: broker, Heartbeat: time.Hour})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	frames := make(chan sseFrame, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		readErr <- readFrames(resp.Body, frames)
+	}()
+
+	// Publishing only begins once the subscriber is registered — the HTTP
+	// handler runs concurrently with this test body.
+	waitSubscribed(t, broker)
+	for i := 0; i < 3; i++ {
+		broker.Publish("run", map[string]int{"n": i})
+	}
+	broker.SampleWriter("mcf_COSMOS").Write([]byte(`{"sim.accesses":100}` + "\n"))
+
+	var got []sseFrame
+	for len(got) < 4 {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatalf("stream ended early after %d frames", len(got))
+			}
+			got = append(got, f)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d frames", len(got))
+		}
+	}
+	for i, f := range got {
+		if i > 0 && f.id <= got[i-1].id {
+			t.Fatalf("ids must increase: %d after %d", f.id, got[i-1].id)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		want := fmt.Sprintf(`{"n":%d}`, i)
+		if got[i].event != "run" || got[i].data != want {
+			t.Fatalf("frame %d = %+v, want run %s", i, got[i], want)
+		}
+	}
+	if got[3].event != "sample" || got[3].data != `{"run":"mcf_COSMOS","stats":{"sim.accesses":100}}` {
+		t.Fatalf("sample frame = %+v", got[3])
+	}
+
+	// Graceful shutdown mid-stream: the handler sees the broker close and
+	// finishes its response, so the reader gets clean EOF.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-readErr:
+		if err != nil {
+			t.Fatalf("stream did not end cleanly: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still open after shutdown")
+	}
+}
+
+func waitSubscribed(t *testing.T, b *Broker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no subscriber appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBrokerDropsOnFullBuffer(t *testing.T) {
+	b := NewBroker()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+10; i++ {
+		b.Publish("run", i)
+	}
+	if b.Dropped() != 10 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+	// The buffered prefix is intact and in order.
+	first := <-ch
+	if first.ID != 1 {
+		t.Fatalf("first id = %d", first.ID)
+	}
+}
+
+func TestBrokerCloseIdempotentAndTerminal(t *testing.T) {
+	b := NewBroker()
+	ch, _ := b.Subscribe()
+	b.Close()
+	b.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("subscriber channel must be closed")
+	}
+	// Post-close subscriptions get an already-closed channel.
+	ch2, cancel2 := b.Subscribe()
+	cancel2()
+	if _, ok := <-ch2; ok {
+		t.Fatal("post-close subscription must be closed")
+	}
+	b.Publish("run", 1) // must not panic
+}

@@ -28,6 +28,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -91,6 +92,46 @@ type Event struct {
 	Err       error
 }
 
+// Phase is one stage of a run request's lifecycle, reported through the
+// Lifecycle hook so an observability plane can maintain a live run table.
+type Phase int
+
+const (
+	// PhaseQueued: the request became the leader for its key and entered
+	// the store-lookup / worker-slot pipeline.
+	PhaseQueued Phase = iota
+	// PhaseRunning: a worker slot was acquired and the simulation is about
+	// to execute.
+	PhaseRunning
+	// PhaseDone: the request completed (any Source, or with an error).
+	PhaseDone
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	case PhaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Transition is one lifecycle phase change of a run request. Source,
+// QueueWait, ExecTime and Err are meaningful at PhaseDone; QueueWait is also
+// set at PhaseRunning (the wait that just ended).
+type Transition struct {
+	Key       string
+	Label     string
+	Phase     Phase
+	Source    Source
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	Err       error
+}
+
 // Stats is a snapshot of the orchestrator's run accounting.
 type Stats struct {
 	Executed     uint64 // simulations actually run
@@ -127,6 +168,14 @@ type Orchestrator struct {
 	// request, including failures. It may be called concurrently.
 	Observer func(Event)
 
+	// Lifecycle, when non-nil, receives a Transition at every phase change
+	// of every run request: queued → running → done for executed leaders,
+	// a bare done for memoised/restored/deduplicated results. It may be
+	// called concurrently; nil costs one branch per transition.
+	Lifecycle func(Transition)
+
+	workers int
+
 	mu       sync.Mutex
 	inflight map[string]*call
 	memo     map[string]sim.Results
@@ -148,6 +197,7 @@ func New(opts Options) *Orchestrator {
 	return &Orchestrator{
 		store:    opts.Store,
 		sem:      make(chan struct{}, opts.Workers),
+		workers:  opts.Workers,
 		inflight: make(map[string]*call),
 		memo:     make(map[string]sim.Results),
 	}
@@ -156,6 +206,22 @@ func New(opts Options) *Orchestrator {
 // Store returns the persistent store the orchestrator writes to (nil when
 // running memory-only).
 func (o *Orchestrator) Store() *Store { return o.store }
+
+// Workers returns the worker-pool capacity (concurrent simulations).
+func (o *Orchestrator) Workers() int { return o.workers }
+
+// MemoLen reports how many completed runs the in-memory memo holds.
+func (o *Orchestrator) MemoLen() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.memo)
+}
+
+func (o *Orchestrator) transition(t Transition) {
+	if o.Lifecycle != nil {
+		o.Lifecycle(t)
+	}
+}
 
 // Stats returns a snapshot of the run accounting.
 func (o *Orchestrator) Stats() Stats {
@@ -166,7 +232,9 @@ func (o *Orchestrator) Stats() Stats {
 
 // RegisterMetrics exposes the orchestrator's accounting as telemetry
 // counters under scope: runs_{executed,memoised,restored,deduplicated,
-// failed} and the accumulated queue_wait_us / exec_time_us.
+// failed} and the accumulated queue_wait_us / exec_time_us, plus the result
+// reuse outcomes under runner.store.* (persistent-store hits, misses and
+// corrupt-record recomputes, and in-memory memo hits).
 func (o *Orchestrator) RegisterMetrics(scope *telemetry.Scope) {
 	s := scope.Scope("runner")
 	get := func(f func(st Stats) uint64) func() uint64 {
@@ -183,6 +251,14 @@ func (o *Orchestrator) RegisterMetrics(scope *telemetry.Scope) {
 	s.CounterFunc("runs_failed", get(func(st Stats) uint64 { return st.Failed }))
 	s.CounterFunc("queue_wait_us", get(func(st Stats) uint64 { return uint64(st.QueueWait.Microseconds()) }))
 	s.CounterFunc("exec_time_us", get(func(st Stats) uint64 { return uint64(st.ExecTime.Microseconds()) }))
+
+	sc := s.Scope("store")
+	sc.CounterFunc("memo_hits", get(func(st Stats) uint64 { return st.Memoised }))
+	if o.store != nil {
+		sc.CounterFunc("hits", func() uint64 { h, _, _ := o.store.Counters(); return h })
+		sc.CounterFunc("misses", func() uint64 { _, m, _ := o.store.Counters(); return m })
+		sc.CounterFunc("corrupt_recomputed", func() uint64 { _, _, c := o.store.Counters(); return c })
+	}
 }
 
 // Run executes (or recalls) the simulation the spec describes. Identical
@@ -199,6 +275,7 @@ func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) 
 	if r, ok := o.memo[key]; ok {
 		o.stats.Memoised++
 		o.mu.Unlock()
+		o.transition(Transition{Key: key, Label: label, Phase: PhaseDone, Source: SourceMemoised})
 		o.notify(Event{Key: key, Label: label, Source: SourceMemoised})
 		return cloneResults(r), nil
 	}
@@ -208,13 +285,16 @@ func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) 
 		select {
 		case <-c.done:
 			if c.err != nil {
+				o.transition(Transition{Key: key, Label: label, Phase: PhaseDone, Source: SourceDeduplicated, Err: c.err})
 				o.fail(Event{Key: key, Label: label, Source: SourceDeduplicated, Err: c.err})
 				return sim.Results{}, c.err
 			}
+			o.transition(Transition{Key: key, Label: label, Phase: PhaseDone, Source: SourceDeduplicated})
 			o.notify(Event{Key: key, Label: label, Source: SourceDeduplicated})
 			return cloneResults(c.res), nil
 		case <-ctx.Done():
 			err := fmt.Errorf("runner: run %s: %w", label, ctx.Err())
+			o.transition(Transition{Key: key, Label: label, Phase: PhaseDone, Source: SourceDeduplicated, Err: err})
 			o.fail(Event{Key: key, Label: label, Source: SourceDeduplicated, Err: err})
 			return sim.Results{}, err
 		}
@@ -222,6 +302,7 @@ func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) 
 	c := &call{done: make(chan struct{})}
 	o.inflight[key] = c
 	o.mu.Unlock()
+	o.transition(Transition{Key: key, Label: label, Phase: PhaseQueued})
 
 	res, ev, err := o.execute(ctx, key, label, spec)
 	c.res, c.err = res, err
@@ -235,10 +316,15 @@ func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) 
 	close(c.done)
 
 	ev.Key, ev.Label, ev.Err = key, label, err
+	o.transition(Transition{Key: key, Label: label, Phase: PhaseDone,
+		Source: ev.Source, QueueWait: ev.QueueWait, ExecTime: ev.ExecTime, Err: err})
 	if err != nil {
+		slog.Debug("run failed", "label", label, "source", ev.Source.String(), "err", err)
 		o.fail(ev)
 		return sim.Results{}, err
 	}
+	slog.Debug("run finished", "label", label, "source", ev.Source.String(),
+		"queue_wait", ev.QueueWait, "exec_time", ev.ExecTime)
 	o.notify(ev)
 	return cloneResults(res), nil
 }
@@ -291,6 +377,7 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 	}
 	defer func() { <-o.sem }()
 	queueWait := time.Since(queued)
+	o.transition(Transition{Key: key, Label: label, Phase: PhaseRunning, QueueWait: queueWait})
 
 	started := time.Now()
 	res, err := o.simulate(ctx, label, spec)

@@ -218,6 +218,7 @@ func TestRegisterMetrics(t *testing.T) {
 		"runner.exec_time_us", "runner.queue_wait_us",
 		"runner.runs_deduplicated", "runner.runs_executed",
 		"runner.runs_failed", "runner.runs_memoised", "runner.runs_restored",
+		"runner.store.memo_hits",
 	}
 	if got := reg.SortedNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("metric names = %v, want %v", got, want)

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"cosmos/internal/sim"
 )
@@ -51,6 +53,12 @@ type runRecord struct {
 // resume pattern (a reader never observes a partial record).
 type Store struct {
 	dir string
+
+	// Get outcome counters (atomic: Get runs concurrently from workers,
+	// the observability plane reads them live).
+	hits    atomic.Uint64 // valid record found and loaded
+	misses  atomic.Uint64 // no record on disk
+	corrupt atomic.Uint64 // record present but unreadable → recompute
 
 	mu    sync.Mutex
 	index map[string]IndexEntry
@@ -124,20 +132,40 @@ func (st *Store) loadIndex() error {
 // Get loads the results stored under key. A missing, truncated, corrupt or
 // version-mismatched record reports !ok — the orchestrator then simply
 // re-simulates, so a damaged store degrades to a slower campaign, never a
-// wrong one.
+// wrong one. Outcomes are counted (see Counters).
 func (st *Store) Get(key string) (sim.Results, bool) {
 	b, err := os.ReadFile(st.runPath(key))
 	if err != nil {
+		if os.IsNotExist(err) {
+			st.misses.Add(1)
+		} else {
+			st.recordCorrupt(key, err)
+		}
 		return sim.Results{}, false
 	}
 	var rec runRecord
 	if err := json.Unmarshal(b, &rec); err != nil {
+		st.recordCorrupt(key, err)
 		return sim.Results{}, false
 	}
 	if rec.Version != storeVersion || rec.Key != key {
+		st.recordCorrupt(key, fmt.Errorf("version %q / key %q mismatch", rec.Version, rec.Key))
 		return sim.Results{}, false
 	}
+	st.hits.Add(1)
 	return rec.Results, true
+}
+
+func (st *Store) recordCorrupt(key string, err error) {
+	st.corrupt.Add(1)
+	slog.Warn("result store: corrupt record, recomputing",
+		"path", st.runPath(key), "err", err)
+}
+
+// Counters reports the cumulative Get outcomes: valid records loaded,
+// absent records, and corrupt records that forced a recompute.
+func (st *Store) Counters() (hits, misses, corrupt uint64) {
+	return st.hits.Load(), st.misses.Load(), st.corrupt.Load()
 }
 
 // Put persists one completed run: the result file is written atomically,

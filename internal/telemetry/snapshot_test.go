@@ -1,0 +1,80 @@
+package telemetry
+
+import "testing"
+
+func TestSnapshotReadsEveryKind(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root()
+
+	var hits uint64 = 3
+	root.Scope("ctr").Counter("hits", &hits)
+	root.Gauge("occupancy", func() float64 { return 0.25 })
+	var num, den uint64 = 1, 4
+	root.RateOf("miss_rate", &num, &den)
+	h := root.Histogram("latency")
+	h.Observe(4)
+	h.Observe(12)
+
+	snap := reg.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	// Registration order is preserved.
+	names := []string{"ctr.hits", "occupancy", "miss_rate", "latency"}
+	kinds := []Kind{KindCounter, KindGauge, KindRate, KindHistogram}
+	for i, s := range snap {
+		if s.Name != names[i] || s.Kind != kinds[i] {
+			t.Fatalf("snap[%d] = {%s %s}, want {%s %s}", i, s.Name, s.Kind, names[i], kinds[i])
+		}
+	}
+
+	if snap[0].Counter != 3 || snap[0].Value() != 3 {
+		t.Errorf("counter = %+v", snap[0])
+	}
+	if snap[1].Gauge != 0.25 {
+		t.Errorf("gauge = %+v", snap[1])
+	}
+	if snap[2].Num != 1 || snap[2].Den != 4 || snap[2].Value() != 0.25 {
+		t.Errorf("rate = %+v", snap[2])
+	}
+	hs := snap[3].Hist
+	if hs.Count != 2 || hs.Sum != 16 || hs.Max != 12 {
+		t.Errorf("hist = %+v", hs)
+	}
+	if snap[3].Value() != 8 { // histogram folds to its mean
+		t.Errorf("hist value = %v", snap[3].Value())
+	}
+
+	// Snapshot is cumulative and point-in-time: mutating the sources and
+	// reading again shows the new values without touching the old snapshot.
+	hits = 10
+	num = 2
+	again := reg.Snapshot()
+	if again[0].Counter != 10 || again[2].Value() != 0.5 {
+		t.Errorf("second snapshot = %+v / %+v", again[0], again[2])
+	}
+	if snap[0].Counter != 3 {
+		t.Error("first snapshot must be immutable")
+	}
+}
+
+func TestSnapshotRateZeroDenominator(t *testing.T) {
+	reg := NewRegistry()
+	var num, den uint64
+	reg.Root().RateOf("rate", &num, &den)
+	if v := reg.Snapshot()[0].Value(); v != 0 {
+		t.Fatalf("0/0 rate = %v, want 0", v)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindCounter: "counter", KindGauge: "gauge",
+		KindRate: "rate", KindHistogram: "histogram", Kind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
