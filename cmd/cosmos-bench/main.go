@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cosmos/internal/experiments"
+	"cosmos/internal/fault"
 	"cosmos/internal/obs"
 	"cosmos/internal/runner"
 	"cosmos/internal/sim"
@@ -53,6 +54,12 @@ func run() int {
 		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
 		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+
+		faultRate   = flag.Float64("fault-rate", 0, "per-fetch fault probability applied to every simulation (0 = off)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the fault stream")
+		faultKinds  = flag.String("fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt)")
+		crashAt     = flag.Uint64("crash-at", 0, "crash each simulation's memory controller before this access number (0 = never)")
+		crashDropRL = flag.Bool("crash-drop-rl", false, "the crash also loses the RL predictor tables")
 
 		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
 		logFormat = flag.String("log-format", "text", "log output format: text | json")
@@ -147,6 +154,18 @@ func run() int {
 			}
 			logger.Info("progress", args...)
 		}),
+	}
+	var faultCfg *fault.Config
+	if *faultRate > 0 || *crashAt > 0 {
+		faultCfg = &fault.Config{
+			Seed: *faultSeed, Rate: *faultRate, Kinds: *faultKinds,
+			CrashAt: *crashAt, CrashDropRL: *crashDropRL,
+		}
+		if err := faultCfg.Validate(); err != nil {
+			logger.Error("fault config", "err", err)
+			return 1
+		}
+		lopts = append(lopts, experiments.WithFaults(faultCfg))
 	}
 	var store *runner.Store
 	if *results != "" {
@@ -285,6 +304,9 @@ func instrumentHook(logger *slog.Logger, statsDir string, interval uint64, stats
 	return func(label string, s *sim.System) func() {
 		reg := telemetry.NewRegistry()
 		s.RegisterMetrics(reg.Root())
+		if in := s.Faults(); in != nil && broker != nil {
+			in.Notify = broker.FaultNotifier(label)
+		}
 
 		var cleanups []func()
 		if statsDir != "" || broker != nil {

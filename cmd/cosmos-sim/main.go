@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"cosmos/internal/fault"
 	"cosmos/internal/obs"
 	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
@@ -56,6 +57,12 @@ func main() {
 		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
 		logFormat = flag.String("log-format", "text", "log output format: text | json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+
+		faultRate   = flag.Float64("fault-rate", 0, "per-fetch fault probability for the deterministic fault plane (0 = off)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the fault stream (same seed = same faults, every design)")
+		faultKinds  = flag.String("fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt; empty = all at -fault-rate)")
+		crashAt     = flag.Uint64("crash-at", 0, "crash the memory controller before this access number and replay recovery (0 = never)")
+		crashDropRL = flag.Bool("crash-drop-rl", false, "the crash also loses the RL predictor tables")
 
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -102,6 +109,15 @@ func main() {
 	}
 	cfg.MC.Seed = *seed
 	cfg.MC.Params.Seed = *seed
+	if *faultRate > 0 || *crashAt > 0 {
+		cfg.Fault = &fault.Config{
+			Seed: *faultSeed, Rate: *faultRate, Kinds: *faultKinds,
+			CrashAt: *crashAt, CrashDropRL: *crashDropRL,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		die("validate config", err)
+	}
 
 	gen, err := workloads.Build(*workload, workloads.Options{
 		Threads: *cores, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
@@ -118,6 +134,9 @@ func main() {
 	if *listen != "" {
 		broker = obs.NewBroker()
 		table = obs.NewRunTable(1, broker)
+		if in := s.Faults(); in != nil {
+			in.Notify = broker.FaultNotifier(label)
+		}
 	}
 
 	if *statsOut != "" || *traceOut != "" || *listen != "" {
@@ -275,6 +294,23 @@ func printResults(r sim.Results, csv bool) {
 	if r.Prefetch.Issued > 0 {
 		t.Row("prefetch issued/useful", fmt.Sprintf("%d/%d", r.Prefetch.Issued, r.Prefetch.Useful))
 		t.Row("prefetch accuracy", stats.Pct(r.Prefetch.Accuracy()))
+	}
+	if f := r.Fault; f != nil {
+		t.Row("faults injected", f.Injected)
+		t.Row("faults detected", f.Detected)
+		t.Row("faults silent", f.Silent)
+		t.Row("faults by kind (data/ctr/mac/mt)", fmt.Sprintf("%d/%d/%d/%d",
+			f.DataDetected, f.CtrDetected, f.MACDetected, f.MTDetected))
+		t.Row("fault transient repaired", f.TransientRepaired)
+		t.Row("fault lines poisoned", f.Poisoned)
+		t.Row("fault retry fetches", f.Refetches)
+		t.Row("fault retry cycles", f.RetryCycles)
+		if f.CrashStep > 0 {
+			t.Row("crash at access", f.CrashStep)
+			t.Row("crash lines lost", f.CrashLinesLost)
+			t.Row("recovery fetches", f.RecoveryFetches)
+			t.Row("recovery cost (cycles)", f.RecoveryCycles)
+		}
 	}
 	if csv {
 		fmt.Print(t.CSV())

@@ -50,6 +50,9 @@ func main() {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	if *accesses == 0 {
+		die("validate flags", fmt.Errorf("-accesses must be positive: nothing to sample"))
+	}
 
 	// SIGINT/SIGTERM stop the sampling loop; the profile of the accesses
 	// gathered so far still prints.

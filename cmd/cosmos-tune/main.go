@@ -106,6 +106,9 @@ func main() {
 		}
 		cfg := sim.DefaultConfig()
 		cfg.MC.Params = p
+		if err := cfg.Validate(); err != nil {
+			die("validate config", err)
+		}
 		s := sim.New(cfg, secmem.DesignCosmos())
 		r, err := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
 		if err != nil {

@@ -91,17 +91,36 @@ type Result struct {
 	EvictedDirty bool
 }
 
-// New builds a cache of sizeBytes capacity with the given associativity and
-// 64-byte lines. The number of sets must come out a power of two.
-func New(name string, sizeBytes, ways int, pol Policy) *Cache {
+// ValidateGeometry checks a (size, ways) pair the way New would, but returns
+// a descriptive error instead of panicking. Config validation calls it so
+// bad geometry is rejected at the API boundary rather than deep in Step.
+func ValidateGeometry(name string, sizeBytes, ways int) error {
 	const lineSize = 64
-	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*lineSize) != 0 {
-		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d", name, sizeBytes, ways))
+	if sizeBytes <= 0 {
+		return fmt.Errorf("cache %s: size %d must be positive", name, sizeBytes)
+	}
+	if ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d must be positive", name, ways)
+	}
+	if sizeBytes%(ways*lineSize) != 0 {
+		return fmt.Errorf("cache %s: size %d not a multiple of ways(%d) x %dB lines",
+			name, sizeBytes, ways, lineSize)
 	}
 	sets := sizeBytes / (ways * lineSize)
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+		return fmt.Errorf("cache %s: set count %d (size %d / ways %d) not a power of two",
+			name, sets, sizeBytes, ways)
 	}
+	return nil
+}
+
+// New builds a cache of sizeBytes capacity with the given associativity and
+// 64-byte lines. The number of sets must come out a power of two.
+func New(name string, sizeBytes, ways int, pol Policy) *Cache {
+	if err := ValidateGeometry(name, sizeBytes, ways); err != nil {
+		panic(err.Error())
+	}
+	sets := sizeBytes / (ways * 64)
 	c := &Cache{name: name, sets: sets, ways: ways, lines: make([]line, sets*ways), pol: pol}
 	pol.Reset(sets, ways)
 	return c
@@ -238,4 +257,31 @@ func (c *Cache) Flush() (dirty int) {
 		c.lines[i] = line{}
 	}
 	return dirty
+}
+
+// FlushLines invalidates every line and reports each former resident to fn.
+// The tag array is cleared before the first callback, so fn may refill the
+// cache (crash recovery re-verifies dirty metadata, which walks back through
+// this cache) without the walk observing stale entries.
+func (c *Cache) FlushLines(fn func(lineNum uint64, dirty bool)) {
+	type victim struct {
+		line  uint64
+		dirty bool
+	}
+	victims := make([]victim, 0, len(c.lines))
+	shift := uint(log2(c.sets))
+	for i := range c.lines {
+		if !c.lines[i].valid {
+			continue
+		}
+		set := i / c.ways
+		victims = append(victims, victim{
+			line:  c.lines[i].tag<<shift | uint64(set),
+			dirty: c.lines[i].dirty,
+		})
+		c.lines[i] = line{}
+	}
+	for _, v := range victims {
+		fn(v.line, v.dirty)
+	}
 }

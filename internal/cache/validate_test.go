@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateGeometry(t *testing.T) {
+	ok := []struct {
+		size, ways int
+	}{
+		{32 << 10, 8}, {1 << 20, 16}, {64, 1}, {512, 8},
+	}
+	for _, c := range ok {
+		if err := ValidateGeometry("t", c.size, c.ways); err != nil {
+			t.Errorf("ValidateGeometry(%d, %d) rejected valid geometry: %v", c.size, c.ways, err)
+		}
+	}
+	bad := []struct {
+		size, ways int
+		want       string
+	}{
+		{0, 8, "must be positive"},
+		{-64, 8, "must be positive"},
+		{32 << 10, 0, "must be positive"},
+		{32 << 10, -2, "must be positive"},
+		{100, 1, "not a multiple"},
+		{48 << 10, 8, "not a power of two"},
+	}
+	for _, c := range bad {
+		err := ValidateGeometry("t", c.size, c.ways)
+		if err == nil {
+			t.Errorf("ValidateGeometry(%d, %d) accepted invalid geometry", c.size, c.ways)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ValidateGeometry(%d, %d) = %q, want mention of %q", c.size, c.ways, err, c.want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted non-power-of-two set count")
+		}
+	}()
+	New("bad", 48<<10, 8, NewLRU())
+}
+
+func TestFlushLines(t *testing.T) {
+	c := New("t", 64*16, 2, NewLRU()) // 8 sets x 2 ways
+	c.Access(10, false, 0)
+	c.Access(20, true, 0)
+	c.Access(30, false, 0)
+	got := map[uint64]bool{}
+	c.FlushLines(func(line uint64, dirty bool) {
+		got[line] = dirty
+		// Re-entrancy: the callback may refill the cache (crash recovery
+		// walks the tree, which touches the metadata cache).
+		c.Access(line+100, false, 0)
+	})
+	want := map[uint64]bool{10: false, 20: true, 30: false}
+	if len(got) != len(want) {
+		t.Fatalf("FlushLines visited %v, want %v", got, want)
+	}
+	for line, dirty := range want {
+		if got[line] != dirty {
+			t.Fatalf("line %d dirty = %v, want %v (all: %v)", line, got[line], dirty, got)
+		}
+	}
+	// The refills from inside the callback survive; the originals are gone.
+	if r := c.Access(20, false, 0); r.Hit {
+		t.Fatal("flushed line still resident")
+	}
+	if r := c.Access(110, false, 0); !r.Hit {
+		t.Fatal("callback refill was lost")
+	}
+}

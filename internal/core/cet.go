@@ -56,6 +56,14 @@ func NewCET(capacity int, window uint64) *CET {
 // Len reports the current number of entries.
 func (c *CET) Len() int { return c.size }
 
+// Clear empties the table, keeping its capacity and window.
+func (c *CET) Clear() {
+	clear(c.byBlock)
+	clear(c.buckets)
+	c.mru, c.lru = nil, nil
+	c.size = 0
+}
+
 // Capacity reports the configured entry count.
 func (c *CET) Capacity() int { return c.capacity }
 

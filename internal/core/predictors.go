@@ -130,6 +130,11 @@ func (p *DataPredictor) RegisterMetrics(s *telemetry.Scope) {
 // Table exposes the Q-table (for quantization studies and tests).
 func (p *DataPredictor) Table() *rl.QTable { return p.agent.Table }
 
+// Reset discards the learned Q-table (crash model: the predictor's SRAM
+// state is volatile and not checkpointed). Statistics are kept — they
+// describe the run, not the hardware.
+func (p *DataPredictor) Reset() { p.agent.Table.Reset() }
+
 // LocalityPredictor is the RL-based CTR locality predictor (Algorithm 1):
 // on every CTR access it classifies the counter block as good or bad
 // locality; the CET grades those classifications over a temporal window.
@@ -171,6 +176,13 @@ func NewLocalityPredictor(p Params) *LocalityPredictor {
 
 // CET exposes the evaluation table (for the Fig 9 sweep).
 func (p *LocalityPredictor) CET() *CET { return p.cet }
+
+// Reset discards the learned Q-table and the CET contents (crash model:
+// both live in volatile SRAM). Statistics are kept.
+func (p *LocalityPredictor) Reset() {
+	p.agent.Table.Reset()
+	p.cet.Clear()
+}
 
 // RegisterMetrics registers the locality classification counters, the
 // per-interval good-locality share and CET hit rate, and the agent's

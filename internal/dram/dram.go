@@ -4,7 +4,11 @@
 // so the rest of the simulator works in a single clock domain.
 package dram
 
-import "cosmos/internal/telemetry"
+import (
+	"fmt"
+
+	"cosmos/internal/telemetry"
+)
 
 // Config describes the device geometry and timing (all times in core
 // cycles at 3GHz; DDR4-2400 CL17 ≈ 14.2ns ≈ 42 cycles).
@@ -32,6 +36,22 @@ func DefaultConfig() Config {
 		TBus:     8,
 		Queue:    10,
 	}
+}
+
+// Validate rejects geometry New cannot model sensibly. Zero-valued fields
+// are legal (New substitutes the Table 3 defaults); negative counts and
+// non-power-of-two row sizes are not.
+func (c Config) Validate() error {
+	if c.Channels < 0 {
+		return fmt.Errorf("dram: negative channel count %d", c.Channels)
+	}
+	if c.BanksPer < 0 {
+		return fmt.Errorf("dram: negative banks-per-channel %d", c.BanksPer)
+	}
+	if c.RowBytes != 0 && (c.RowBytes < 64 || c.RowBytes&(c.RowBytes-1) != 0) {
+		return fmt.Errorf("dram: row size %d not a power of two >= 64", c.RowBytes)
+	}
+	return nil
 }
 
 // Stats accumulates DRAM behaviour counters.

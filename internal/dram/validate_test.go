@@ -1,0 +1,23 @@
+package dram
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must be valid (New substitutes defaults): %v", err)
+	}
+	if err := (Config{Channels: 4, BanksPer: 16, RowBytes: 8192}).Validate(); err != nil {
+		t.Fatalf("explicit valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Channels: -1},
+		{BanksPer: -8},
+		{RowBytes: 100},
+		{RowBytes: 32}, // below one line
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"cosmos/internal/fault"
 	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
@@ -100,8 +101,9 @@ type Lab struct {
 	// there. Instrument may be called concurrently from Prewarm workers.
 	Instrument func(label string, s *sim.System) func()
 
-	ctx  context.Context
-	orch *runner.Orchestrator
+	ctx   context.Context
+	orch  *runner.Orchestrator
+	fault *fault.Config
 
 	mu  sync.Mutex
 	err error
@@ -116,6 +118,7 @@ type labOptions struct {
 	store     *runner.Store
 	observer  func(runner.Event)
 	lifecycle func(runner.Transition)
+	fault     *fault.Config
 }
 
 // WithContext binds every simulation the lab runs to ctx: on cancellation
@@ -150,13 +153,20 @@ func WithLifecycle(f func(runner.Transition)) LabOption {
 	return func(o *labOptions) { o.lifecycle = f }
 }
 
+// WithFaults attaches the same fault campaign to every simulation the lab
+// runs. The campaign enters each run's content hash, so faulty and
+// fault-free sweeps over the same cells store separately.
+func WithFaults(fc *fault.Config) LabOption {
+	return func(o *labOptions) { o.fault = fc }
+}
+
 // NewLab creates a result-sharing experiment context.
 func NewLab(sc Scale, opts ...LabOption) *Lab {
 	o := labOptions{ctx: context.Background()}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	l := &Lab{Scale: sc, ctx: o.ctx}
+	l := &Lab{Scale: sc, ctx: o.ctx, fault: o.fault}
 	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store})
 	l.orch.Observer = o.observer
 	l.orch.Lifecycle = o.lifecycle
@@ -227,6 +237,7 @@ func (l *Lab) spec(workload string, design secmem.Design, opt runOpts) runner.Sp
 		GraphNodes:  l.Scale.GraphNodes,
 		GraphDegree: l.Scale.GraphDegree,
 		Seed:        l.Scale.Seed,
+		Fault:       l.fault,
 	}
 }
 
@@ -264,6 +275,7 @@ func (l *Lab) runCfg(workload, label string, design secmem.Design, cfg sim.Confi
 		GraphDegree: l.Scale.GraphDegree,
 		Seed:        l.Scale.Seed,
 		Config:      &cfg,
+		Fault:       l.fault,
 		Label:       label,
 	})
 }

@@ -1,0 +1,191 @@
+// Package fault is the deterministic fault-injection subsystem: a seeded
+// injector that corrupts DRAM-resident objects (data lines, counter blocks,
+// MAC entries, Merkle-tree nodes) as they are fetched, a functional shadow
+// (internal/integrity.Shadow) that makes the corruption detectable rather
+// than cosmetic, and a crash/restore point that drops the memory
+// controller's volatile state mid-run.
+//
+// The fault stream is a pure function of (seed, kind, step, line): whether a
+// given fetch faults never depends on call order, design point, worker
+// count, or what faulted before. Every design evaluated under the same
+// fault configuration therefore sees the same adversity, which is what
+// makes cross-design recovery-cost comparisons meaningful.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies what object a fault corrupts.
+type Kind uint8
+
+const (
+	// KindData corrupts a data cache line in DRAM.
+	KindData Kind = iota
+	// KindCtr corrupts an encryption-counter block.
+	KindCtr
+	// KindMAC corrupts a MAC entry.
+	KindMAC
+	// KindMT corrupts a Merkle-tree node.
+	KindMT
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"data", "ctr", "mac", "mt"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindByName resolves a kind name; the error lists the valid names.
+func KindByName(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q (valid: %s)",
+		name, strings.Join(kindNames[:], ", "))
+}
+
+// Config describes one fault campaign. It is part of the runner spec hash,
+// so every field must keep a stable JSON encoding; the zero value (all
+// fields omitted) means "no faults" and hashes identically to a spec
+// without a fault section at all.
+type Config struct {
+	// Seed selects the fault stream. Two runs with equal Seed (and equal
+	// rates/windows) draw identical faults at identical (kind, step, line)
+	// coordinates.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rate is the per-fetch fault probability applied to every enabled
+	// kind that has no per-kind override in Kinds. 0 disables rate-driven
+	// injection (CrashAt may still be set).
+	Rate float64 `json:"rate,omitempty"`
+	// Kinds selects which kinds fault, comma-separated, each optionally
+	// carrying its own rate: "data,ctr:1e-4,mac,mt". Empty enables all
+	// kinds at Rate.
+	Kinds string `json:"kinds,omitempty"`
+	// StepFrom/StepTo bound the injection window in access steps
+	// (half-open; StepTo 0 = unbounded).
+	StepFrom uint64 `json:"step_from,omitempty"`
+	StepTo   uint64 `json:"step_to,omitempty"`
+	// AddrFrom/AddrTo bound the injection window in byte addresses of the
+	// fetched object (half-open; AddrTo 0 = unbounded). Metadata kinds are
+	// filtered by their metadata addresses, which live above the data
+	// region.
+	AddrFrom uint64 `json:"addr_from,omitempty"`
+	AddrTo   uint64 `json:"addr_to,omitempty"`
+	// MaxRetries bounds the re-fetch/re-verify attempts spent on a
+	// persistent fault before the line is poisoned. 0 means the default
+	// (3).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// TransientPct is the percentage of injected faults that are
+	// transient (repaired by a single re-fetch). 0 means the default
+	// (50); negative means none — every fault is persistent and ends in a
+	// poisoned line.
+	TransientPct int `json:"transient_pct,omitempty"`
+	// CrashAt, when nonzero, crashes the memory controller just before
+	// access number CrashAt: all volatile metadata state (counter caches,
+	// MAC caches, prefetch marks) is lost and the recovery protocol's cost
+	// is charged to every thread.
+	CrashAt uint64 `json:"crash_at,omitempty"`
+	// CrashDropRL also clears the RL predictor tables at the crash point,
+	// modelling designs whose learned state is not checkpointed.
+	CrashDropRL bool `json:"crash_drop_rl,omitempty"`
+}
+
+// DefaultMaxRetries is the bounded-retry budget when MaxRetries is 0.
+const DefaultMaxRetries = 3
+
+// DefaultTransientPct is the transient share when TransientPct is 0.
+const DefaultTransientPct = 50
+
+// Enabled reports whether the configuration injects anything at all. A
+// disabled config must leave the simulator bit-identical to a fault-free
+// run, so sim.New skips building an Injector entirely.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.Rate > 0 || c.CrashAt > 0
+}
+
+// Validate rejects configurations the injector cannot honour, with errors
+// that name the offending field.
+func (c Config) Validate() error {
+	if c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("fault: rate %g outside [0, 1]", c.Rate)
+	}
+	if _, err := c.kindRates(); err != nil {
+		return err
+	}
+	if c.StepTo != 0 && c.StepTo <= c.StepFrom {
+		return fmt.Errorf("fault: empty step window [%d, %d)", c.StepFrom, c.StepTo)
+	}
+	if c.AddrTo != 0 && c.AddrTo <= c.AddrFrom {
+		return fmt.Errorf("fault: empty address window [%#x, %#x)", c.AddrFrom, c.AddrTo)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative max_retries %d", c.MaxRetries)
+	}
+	if c.TransientPct > 100 {
+		return fmt.Errorf("fault: transient_pct %d above 100", c.TransientPct)
+	}
+	return nil
+}
+
+// kindRates resolves the Kinds spec into a per-kind probability table.
+func (c Config) kindRates() ([numKinds]float64, error) {
+	var rates [numKinds]float64
+	if strings.TrimSpace(c.Kinds) == "" {
+		for k := range rates {
+			rates[k] = c.Rate
+		}
+		return rates, nil
+	}
+	for _, item := range strings.Split(c.Kinds, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rateStr, hasRate := strings.Cut(item, ":")
+		k, err := KindByName(strings.TrimSpace(name))
+		if err != nil {
+			return rates, err
+		}
+		r := c.Rate
+		if hasRate {
+			r, err = strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+			if err != nil {
+				return rates, fmt.Errorf("fault: bad rate in %q: %v", item, err)
+			}
+			if r < 0 || r > 1 {
+				return rates, fmt.Errorf("fault: rate %g in %q outside [0, 1]", r, item)
+			}
+		}
+		rates[k] = r
+	}
+	return rates, nil
+}
+
+// EnabledKinds lists the kinds with a nonzero rate, in kind order (a stable
+// summary for logs and docs).
+func (c Config) EnabledKinds() []string {
+	rates, err := c.kindRates()
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for k, r := range rates {
+		if r > 0 {
+			out = append(out, Kind(k).String())
+		}
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledNilSafe(t *testing.T) {
+	var c *Config
+	if c.Enabled() {
+		t.Fatal("nil config reports enabled")
+	}
+	if (&Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(&Config{Rate: 0.1}).Enabled() {
+		t.Fatal("rate-only config reports disabled")
+	}
+	if !(&Config{CrashAt: 100}).Enabled() {
+		t.Fatal("crash-only config reports disabled")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error
+	}{
+		{"rate above one", Config{Rate: 1.5}, "outside [0, 1]"},
+		{"negative rate", Config{Rate: -0.1}, "outside [0, 1]"},
+		{"unknown kind", Config{Rate: 0.1, Kinds: "data,bogus"}, `unknown kind "bogus"`},
+		{"bad kind rate", Config{Kinds: "ctr:nope"}, "bad rate"},
+		{"kind rate above one", Config{Kinds: "ctr:2"}, "outside [0, 1]"},
+		{"empty step window", Config{Rate: 0.1, StepFrom: 10, StepTo: 5}, "empty step window"},
+		{"empty addr window", Config{Rate: 0.1, AddrFrom: 64, AddrTo: 64}, "empty address window"},
+		{"negative retries", Config{Rate: 0.1, MaxRetries: -1}, "max_retries"},
+		{"transient above 100", Config{Rate: 0.1, TransientPct: 101}, "transient_pct"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted invalid config", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := (Config{Rate: 0.5, Kinds: "data, ctr:1e-4 ,mt", StepFrom: 5, StepTo: 100}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestKindRates(t *testing.T) {
+	rates, err := Config{Rate: 0.25, Kinds: "data,ctr:1e-4,mt"}.kindRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[KindData] != 0.25 || rates[KindMT] != 0.25 {
+		t.Fatalf("listed kinds without override should inherit Rate: %v", rates)
+	}
+	if rates[KindCtr] != 1e-4 {
+		t.Fatalf("ctr override lost: %v", rates)
+	}
+	if rates[KindMAC] != 0 {
+		t.Fatalf("unlisted kind should be off: %v", rates)
+	}
+
+	all, err := Config{Rate: 0.5}.kindRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range all {
+		if r != 0.5 {
+			t.Fatalf("empty Kinds should enable every kind at Rate: kind %d has %g", k, r)
+		}
+	}
+
+	kinds := Config{Rate: 0.5, Kinds: "mt,data"}.EnabledKinds()
+	if len(kinds) != 2 || kinds[0] != "data" || kinds[1] != "mt" {
+		t.Fatalf("EnabledKinds not in kind order: %v", kinds)
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := KindByName("rowhammer"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestDrawStateless is the determinism bedrock: a draw depends only on its
+// coordinates, never on call order or interleaving.
+func TestDrawStateless(t *testing.T) {
+	type coord struct {
+		k          Kind
+		step, line uint64
+	}
+	coords := []coord{
+		{KindData, 0, 0}, {KindCtr, 1, 7}, {KindMAC, 99, 12345},
+		{KindMT, 7, 7}, {KindData, 7, 7},
+	}
+	first := make([]uint64, len(coords))
+	for i, c := range coords {
+		first[i] = pcgDraw(42, saltInject, c.k, c.step, c.line)
+	}
+	// Replay in reverse with unrelated draws interleaved.
+	for i := len(coords) - 1; i >= 0; i-- {
+		c := coords[i]
+		pcgDraw(42, saltTransient, c.k, c.step+1, c.line)
+		if got := pcgDraw(42, saltInject, c.k, c.step, c.line); got != first[i] {
+			t.Fatalf("draw at %+v changed across call orders: %#x vs %#x", c, got, first[i])
+		}
+	}
+	// Different kinds at the same (step, line) must decorrelate.
+	if pcgDraw(42, saltInject, KindMT, 7, 7) == pcgDraw(42, saltInject, KindData, 7, 7) {
+		t.Fatal("kind does not influence the draw")
+	}
+	// Different seeds must give different streams.
+	if pcgDraw(1, saltInject, KindData, 7, 7) == pcgDraw(2, saltInject, KindData, 7, 7) {
+		t.Fatal("seed does not influence the draw")
+	}
+}
+
+func TestProbThresholdBounds(t *testing.T) {
+	if probThreshold(0) != 0 {
+		t.Fatal("rate 0 must never fire")
+	}
+	if probThreshold(1) != ^uint64(0) {
+		t.Fatal("rate 1 must always fire")
+	}
+	half := probThreshold(0.5)
+	if half < 1<<62 || half > 3<<62 {
+		t.Fatalf("rate 0.5 threshold implausible: %#x", half)
+	}
+}
+
+func TestOnFetchRateBounds(t *testing.T) {
+	// Rate 1: every in-window fetch faults and (detectable) is detected.
+	in, err := NewInjector(Config{Seed: 7, Rate: 1, TransientPct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(3)
+	out := in.OnFetch(KindCtr, 42, true)
+	if !out.Injected || !out.Detected || !out.Poisoned {
+		t.Fatalf("rate-1 persistent fetch: %+v", out)
+	}
+	if out.Retries != DefaultMaxRetries {
+		t.Fatalf("persistent fault retries = %d, want %d", out.Retries, DefaultMaxRetries)
+	}
+	// The poisoned line is quarantined: it never faults again.
+	in.BeginStep(4)
+	if again := in.OnFetch(KindCtr, 42, true); again.Injected {
+		t.Fatalf("poisoned line re-injected: %+v", again)
+	}
+	if in.PoisonedLines() != 1 {
+		t.Fatalf("PoisonedLines = %d", in.PoisonedLines())
+	}
+
+	// Rate 0 via kind filter: a disabled kind never fires.
+	off, err := NewInjector(Config{Seed: 7, Rate: 1, Kinds: "ctr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.BeginStep(0)
+	for line := uint64(0); line < 1000; line++ {
+		if out := off.OnFetch(KindData, line, true); out.Injected {
+			t.Fatalf("disabled kind fired at line %d", line)
+		}
+	}
+}
+
+func TestOnFetchTransient(t *testing.T) {
+	// TransientPct 100: every fault is repaired by one retry.
+	in, err := NewInjector(Config{Seed: 11, Rate: 1, TransientPct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(0)
+	out := in.OnFetch(KindData, 5, true)
+	if !out.Injected || !out.Detected || out.Poisoned || out.Retries != 1 {
+		t.Fatalf("transient fault: %+v", out)
+	}
+	if in.ShadowCorrupted() != 0 {
+		t.Fatal("repaired fault left shadow corrupt")
+	}
+	rep := in.Report()
+	if rep.TransientRepaired != 1 || rep.Refetches != 1 || rep.DataDetected != 1 {
+		t.Fatalf("report after transient: %+v", rep)
+	}
+}
+
+func TestOnFetchSilent(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 3, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	in.Notify = func(ev Event) { events = append(events, ev) }
+	in.BeginStep(9)
+	out := in.OnFetch(KindData, 77, false)
+	if !out.Injected || out.Detected || !out.Silent || out.Retries != 0 {
+		t.Fatalf("silent fault: %+v", out)
+	}
+	if in.ShadowCorrupted() != 1 {
+		t.Fatal("silent corruption should stay resident in the shadow")
+	}
+	rep := in.Report()
+	if rep.Silent != 1 || rep.Detected != 0 {
+		t.Fatalf("report after silent fault: %+v", rep)
+	}
+	if len(events) != 1 || events[0].Outcome != "silent" || events[0].Line != 77 {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 5, Rate: 1, StepFrom: 10, StepTo: 20, AddrFrom: 64 * 100, AddrTo: 64 * 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire := func(step, line uint64) bool {
+		in.BeginStep(step)
+		return in.OnFetch(KindData, line, true).Injected
+	}
+	if fire(9, 150) {
+		t.Fatal("fired before step window")
+	}
+	if fire(20, 150) {
+		t.Fatal("fired at step window end (half-open)")
+	}
+	if fire(15, 99) {
+		t.Fatal("fired below address window")
+	}
+	if fire(15, 200) {
+		t.Fatal("fired at address window end (half-open)")
+	}
+	if !fire(15, 150) {
+		t.Fatal("did not fire inside both windows at rate 1")
+	}
+}
+
+// TestInjectorDeterminism: two injectors from the same config, driven with
+// the same fetch sequence, produce identical reports and event logs.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 99, Rate: 0.3, Kinds: "data,ctr:0.6,mt"}
+	drive := func() (Report, []Event) {
+		in, err := NewInjector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []Event
+		in.Notify = func(ev Event) { events = append(events, ev) }
+		for step := uint64(0); step < 500; step++ {
+			in.BeginStep(step)
+			in.OnFetch(KindData, step%37, true)
+			in.OnFetch(KindCtr, step%11, true)
+			in.OnFetch(KindMT, step%5, true)
+		}
+		return in.Report(), events
+	}
+	r1, e1 := drive()
+	r2, e2 := drive()
+	if r1 != r2 {
+		t.Fatalf("reports diverge:\n%+v\n%+v", r1, r2)
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts diverge: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	if r1.Injected == 0 {
+		t.Fatal("campaign injected nothing; rates too low for the test to mean anything")
+	}
+	if r1.Detected+r1.Silent != r1.Injected {
+		t.Fatalf("accounting: detected %d + silent %d != injected %d", r1.Detected, r1.Silent, r1.Injected)
+	}
+	if r1.Silent != 0 {
+		t.Fatalf("all fetches were detectable, yet %d silent", r1.Silent)
+	}
+}
+
+func TestResetStatsKeepsPoison(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 1, Rate: 1, TransientPct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(0)
+	in.OnFetch(KindMAC, 8, true)
+	in.ResetStats()
+	if rep := in.Report(); rep != (Report{}) {
+		t.Fatalf("stats not reset: %+v", rep)
+	}
+	if in.PoisonedLines() != 1 {
+		t.Fatal("ResetStats must keep the poisoned set (warmup semantics)")
+	}
+}
+
+func TestCrashDueOnce(t *testing.T) {
+	in, err := NewInjector(Config{CrashAt: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.CrashDue(99) {
+		t.Fatal("crash fired early")
+	}
+	if !in.CrashDue(100) {
+		t.Fatal("crash did not fire at CrashAt")
+	}
+	in.RecordCrash(100, 5000, 12, 34)
+	if in.CrashDue(101) {
+		t.Fatal("crash fired twice")
+	}
+	rep := in.Report()
+	if rep.CrashStep != 100 || rep.RecoveryCycles != 5000 || rep.RecoveryFetches != 12 || rep.CrashLinesLost != 34 {
+		t.Fatalf("crash report: %+v", rep)
+	}
+}

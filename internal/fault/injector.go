@@ -1,0 +1,336 @@
+package fault
+
+import (
+	"math"
+
+	"cosmos/internal/integrity"
+	"cosmos/internal/telemetry"
+)
+
+// Outcome is what the memory controller must do about one fetch after
+// consulting the fault plane.
+type Outcome struct {
+	// Injected: this fetch drew a fault and the fetched value was corrupt.
+	Injected bool
+	// Detected: the integrity check caught the corruption (always true for
+	// injected faults on covered kinds — detection is 100% by
+	// construction, because the verify runs against the functional shadow
+	// the injection corrupted).
+	Detected bool
+	// Silent: the corruption had no integrity machinery to catch it (data
+	// faults on an unprotected design or outside the secure region).
+	Silent bool
+	// Retries is how many re-fetch/re-verify attempts the controller must
+	// charge on the timing path: 1 for a transient fault (the retry
+	// succeeds), MaxRetries for a persistent one (every retry fails).
+	Retries uint64
+	// Poisoned: the retries were exhausted and the line is quarantined —
+	// graceful degradation instead of a halt. Poisoned lines never fault
+	// again (there is nothing left to corrupt) and poisoned counter lines
+	// force a re-encryption of their block.
+	Poisoned bool
+}
+
+// Event is one integrity violation, published to the Notify hook (SSE
+// "fault" events, test logs).
+type Event struct {
+	Step    uint64 `json:"step"`
+	Kind    string `json:"kind"`
+	Line    uint64 `json:"line"`
+	Addr    uint64 `json:"addr"`
+	Outcome string `json:"outcome"` // "transient" | "poisoned" | "silent" | "crash"
+	Retries uint64 `json:"retries"`
+}
+
+// Report is the flat counter set a fault campaign produces. It rides in
+// sim.Results (comparable, so Results equality semantics are preserved) and
+// its JSON field names match the telemetry metric names, which the obs
+// bridge exposes as the cosmos_fault_* Prometheus families.
+type Report struct {
+	Injected          uint64 `json:"injected_total"`
+	Detected          uint64 `json:"detected_total"`
+	Silent            uint64 `json:"silent_total"`
+	TransientRepaired uint64 `json:"transient_repaired_total"`
+	Poisoned          uint64 `json:"poisoned_total"`
+	Refetches         uint64 `json:"refetch_total"`
+	RetryCycles       uint64 `json:"retry_cycles_total"`
+
+	DataDetected uint64 `json:"data_detected_total"`
+	CtrDetected  uint64 `json:"ctr_detected_total"`
+	MACDetected  uint64 `json:"mac_detected_total"`
+	MTDetected   uint64 `json:"mt_detected_total"`
+
+	CrashStep       uint64 `json:"crash_step,omitempty"`
+	RecoveryCycles  uint64 `json:"recovery_cycles,omitempty"`
+	RecoveryFetches uint64 `json:"recovery_fetches,omitempty"`
+	CrashLinesLost  uint64 `json:"crash_lines_lost,omitempty"`
+}
+
+// Injector draws the fault stream and runs the detect/retry/poison policy.
+// It is attached to one secmem.Engine (single simulation, single
+// goroutine); separate simulations build separate Injectors from the same
+// Config and observe the same stream.
+type Injector struct {
+	cfg    Config
+	thresh [numKinds]uint64 // rate mapped onto the full uint64 range; 0 = kind off
+
+	maxRetries      uint64
+	transientThresh uint64
+
+	step    uint64
+	crashed bool
+
+	shadow   *integrity.Shadow
+	poisoned map[uint64]bool
+
+	rep Report
+
+	// Notify, when non-nil, receives every integrity violation and the
+	// crash event as it happens. Set it before the run starts.
+	Notify func(Event)
+}
+
+// NewInjector builds an injector for cfg (which must Validate).
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rates, err := cfg.kindRates()
+	if err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		cfg:      cfg,
+		shadow:   integrity.NewShadow(),
+		poisoned: make(map[uint64]bool),
+	}
+	for k, r := range rates {
+		in.thresh[k] = probThreshold(r)
+	}
+	in.maxRetries = uint64(cfg.MaxRetries)
+	if in.maxRetries == 0 {
+		in.maxRetries = DefaultMaxRetries
+	}
+	pct := cfg.TransientPct
+	switch {
+	case pct == 0:
+		pct = DefaultTransientPct
+	case pct < 0:
+		pct = 0
+	}
+	in.transientThresh = probThreshold(float64(pct) / 100)
+	return in, nil
+}
+
+// probThreshold maps a probability onto the uint64 draw range: a draw
+// strictly below the threshold fires.
+func probThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.MaxUint64
+	}
+	return uint64(p * float64(1<<63) * 2)
+}
+
+// Config returns the configuration the injector was built from.
+func (in *Injector) Config() Config { return in.cfg }
+
+// CrashDropRL reports whether a crash also clears the RL tables.
+func (in *Injector) CrashDropRL() bool { return in.cfg.CrashDropRL }
+
+// BeginStep advances the fault stream to access number step. The simulator
+// calls it once per access before any memory work; everything the access
+// triggers (metadata walks, writebacks, retries) draws at this coordinate.
+func (in *Injector) BeginStep(step uint64) { in.step = step }
+
+// CrashDue reports whether the configured crash point fires at this step.
+// It returns true exactly once.
+func (in *Injector) CrashDue(step uint64) bool {
+	return in.cfg.CrashAt != 0 && !in.crashed && step >= in.cfg.CrashAt
+}
+
+// RecordCrash books the recovery cost of the crash the engine just
+// replayed and publishes the crash event.
+func (in *Injector) RecordCrash(step, cycles, fetches, linesLost uint64) {
+	in.crashed = true
+	in.rep.CrashStep = step
+	in.rep.RecoveryCycles = cycles
+	in.rep.RecoveryFetches = fetches
+	in.rep.CrashLinesLost = linesLost
+	if in.Notify != nil {
+		in.Notify(Event{Step: step, Kind: "crash", Outcome: "crash", Retries: fetches})
+	}
+}
+
+// AddRetryCycles accumulates the measured DRAM latency of fault retries
+// (charged by the engine, which owns the DRAM model).
+func (in *Injector) AddRetryCycles(cycles uint64) { in.rep.RetryCycles += cycles }
+
+// pcgDraw is one draw of the fault stream at (seed^salt, kind, step, line):
+// the coordinates are folded into a PCG-style LCG state (the PCG64
+// multiplier) and finished with an avalanche output permutation so nearby
+// coordinates decorrelate. Stateless by construction — the draw depends
+// only on its inputs, never on call order.
+func pcgDraw(seed, salt uint64, k Kind, step, line uint64) uint64 {
+	const mul = 6364136223846793005
+	s := seed ^ salt
+	s = s*mul + (uint64(k)+1)*0x9E3779B97F4A7C15
+	s = s*mul + step + 1
+	s = s*mul + line + 1
+	s ^= s >> 33
+	s *= 0xFF51AFD7ED558CCD
+	s ^= s >> 33
+	s *= 0xC4CEB9FE1A85EC53
+	s ^= s >> 33
+	return s
+}
+
+// Salts separate the independent random decisions made per coordinate.
+const (
+	saltInject    = 0xC0FFEE
+	saltTransient = 0xFACADE
+)
+
+// shadowKey folds (kind, line) into one shadow/poison key.
+func shadowKey(k Kind, line uint64) uint64 {
+	return uint64(k)<<60 | line&(1<<60-1)
+}
+
+// inWindow applies the configured step and address windows.
+func (in *Injector) inWindow(line uint64) bool {
+	if in.step < in.cfg.StepFrom || (in.cfg.StepTo != 0 && in.step >= in.cfg.StepTo) {
+		return false
+	}
+	addr := line << 6
+	if addr < in.cfg.AddrFrom || (in.cfg.AddrTo != 0 && addr >= in.cfg.AddrTo) {
+		return false
+	}
+	return true
+}
+
+// OnFetch rolls the fault stream for one DRAM fetch of a kind-k object at
+// the given line and runs the detection policy. detectable says whether the
+// design has integrity machinery covering this object (false for data
+// fetches on an unprotected design or outside the secure region — those
+// corruptions are silent). The caller charges Outcome.Retries re-fetches on
+// its timing path and honours Poisoned.
+func (in *Injector) OnFetch(k Kind, line uint64, detectable bool) Outcome {
+	th := in.thresh[k]
+	if th == 0 || !in.inWindow(line) {
+		return Outcome{}
+	}
+	key := shadowKey(k, line)
+	if in.poisoned[key] {
+		return Outcome{} // quarantined: nothing left to corrupt
+	}
+	draw := pcgDraw(in.cfg.Seed, saltInject, k, in.step, line)
+	if draw >= th {
+		return Outcome{}
+	}
+
+	// The fault materialises: corrupt the functional shadow with a
+	// draw-derived nonzero mask, then verify the fetch against it.
+	in.shadow.Corrupt(key, draw|1)
+	in.rep.Injected++
+	out := Outcome{Injected: true}
+
+	if !detectable {
+		// No counter/MAC/MT covers this object: the corruption is
+		// consumed silently and stays resident in the shadow.
+		in.rep.Silent++
+		out.Silent = true
+		in.emit(k, line, "silent", 0)
+		return out
+	}
+
+	if _, ok := in.shadow.Check(key); ok {
+		// Unreachable with a nonzero mask; kept as the honest verify.
+		return out
+	}
+	out.Detected = true
+	in.rep.Detected++
+	in.countKind(k)
+
+	if pcgDraw(in.cfg.Seed, saltTransient, k, in.step, line) < in.transientThresh {
+		// Transient: one re-fetch returns a clean value.
+		out.Retries = 1
+		in.rep.Refetches++
+		in.rep.TransientRepaired++
+		in.shadow.Repair(key)
+		in.emit(k, line, "transient", 1)
+		return out
+	}
+	// Persistent: every retry re-reads the same corrupt cell; after the
+	// bounded budget the line is poisoned and the value quarantined.
+	out.Retries = in.maxRetries
+	in.rep.Refetches += in.maxRetries
+	out.Poisoned = true
+	in.rep.Poisoned++
+	in.poisoned[key] = true
+	in.shadow.Repair(key) // quarantine: the region is retired, not trusted
+	in.emit(k, line, "poisoned", in.maxRetries)
+	return out
+}
+
+func (in *Injector) countKind(k Kind) {
+	switch k {
+	case KindData:
+		in.rep.DataDetected++
+	case KindCtr:
+		in.rep.CtrDetected++
+	case KindMAC:
+		in.rep.MACDetected++
+	case KindMT:
+		in.rep.MTDetected++
+	}
+}
+
+func (in *Injector) emit(k Kind, line uint64, outcome string, retries uint64) {
+	if in.Notify == nil {
+		return
+	}
+	in.Notify(Event{
+		Step: in.step, Kind: k.String(), Line: line, Addr: line << 6,
+		Outcome: outcome, Retries: retries,
+	})
+}
+
+// Report snapshots the campaign counters.
+func (in *Injector) Report() Report { return in.rep }
+
+// PoisonedLines reports how many lines are currently quarantined.
+func (in *Injector) PoisonedLines() int { return len(in.poisoned) }
+
+// ShadowCorrupted reports how many objects currently fail verification
+// (undetected silent corruptions).
+func (in *Injector) ShadowCorrupted() int { return in.shadow.Corrupted() }
+
+// ResetStats zeroes the report counters (warmup semantics) while keeping
+// the poisoned set and shadow state.
+func (in *Injector) ResetStats() { in.rep = Report{} }
+
+// RegisterMetrics exposes the campaign counters under the given scope
+// (conventionally the registry root's "fault" scope, so the Prometheus
+// bridge emits them as the cosmos_fault_* families).
+func (in *Injector) RegisterMetrics(s *telemetry.Scope) {
+	s.Counter("injected_total", &in.rep.Injected)
+	s.Counter("detected_total", &in.rep.Detected)
+	s.Counter("silent_total", &in.rep.Silent)
+	s.Counter("transient_repaired_total", &in.rep.TransientRepaired)
+	s.Counter("poisoned_total", &in.rep.Poisoned)
+	s.Counter("refetch_total", &in.rep.Refetches)
+	s.Counter("retry_cycles_total", &in.rep.RetryCycles)
+	s.Counter("data_detected_total", &in.rep.DataDetected)
+	s.Counter("ctr_detected_total", &in.rep.CtrDetected)
+	s.Counter("mac_detected_total", &in.rep.MACDetected)
+	s.Counter("mt_detected_total", &in.rep.MTDetected)
+	s.Counter("recovery_cycles", &in.rep.RecoveryCycles)
+	s.Counter("recovery_fetches", &in.rep.RecoveryFetches)
+	if in.cfg.CrashAt != 0 {
+		s.CounterFunc("crash_step", func() uint64 { return in.rep.CrashStep })
+	}
+	s.CounterFunc("shadow_corrupted", func() uint64 { return uint64(in.shadow.Corrupted()) })
+	s.CounterFunc("poisoned_lines", func() uint64 { return uint64(len(in.poisoned)) })
+}

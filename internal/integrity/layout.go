@@ -108,6 +108,9 @@ func NewSecureLayout(dataBytes uint64, linesPerBlock int) *SecureLayout {
 	return l
 }
 
+// LinesPerBlock returns how many data lines one counter block covers.
+func (l *SecureLayout) LinesPerBlock() uint64 { return l.linesPerCtrBlock }
+
 // CtrBlockOf maps a data line to its counter-block index.
 func (l *SecureLayout) CtrBlockOf(dataLine uint64) uint64 {
 	return dataLine / l.linesPerCtrBlock

@@ -1,0 +1,49 @@
+package integrity
+
+// Shadow is the lightweight functional mirror the fault plane verifies
+// against. Instead of materialising every counter, MAC and MT hash (the
+// full-fidelity HashTree exists for that), it tracks only the *difference*
+// between what DRAM holds and what it should hold: a corruption XORs a
+// nonzero mask onto a key's delta, and a verify passes exactly when the
+// delta is zero. That gives real end-to-end semantics — an injected flip is
+// detected because the stored value genuinely no longer matches the
+// expected one, and flipping the same bit twice genuinely cancels out —
+// at O(live faults) memory instead of O(memory size).
+type Shadow struct {
+	delta map[uint64]uint64
+}
+
+// NewShadow returns an empty (uncorrupted) shadow.
+func NewShadow() *Shadow {
+	return &Shadow{delta: make(map[uint64]uint64)}
+}
+
+// Corrupt XORs mask onto the value stored under key. A zero mask is a
+// no-op (the stored value would still verify).
+func (s *Shadow) Corrupt(key, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	d := s.delta[key] ^ mask
+	if d == 0 {
+		delete(s.delta, key)
+		return
+	}
+	s.delta[key] = d
+}
+
+// Check verifies the value stored under key against its expected value,
+// returning the residual delta and whether the check passed.
+func (s *Shadow) Check(key uint64) (delta uint64, ok bool) {
+	d := s.delta[key]
+	return d, d == 0
+}
+
+// Repair restores the value under key to its expected value (a re-fetch
+// from a good replica, or a re-encryption under a fresh counter).
+func (s *Shadow) Repair(key uint64) {
+	delete(s.delta, key)
+}
+
+// Corrupted reports how many keys currently fail verification.
+func (s *Shadow) Corrupted() int { return len(s.delta) }

@@ -1,0 +1,52 @@
+package integrity
+
+import "testing"
+
+func TestShadowCorruptCheckRepair(t *testing.T) {
+	s := NewShadow()
+	if _, ok := s.Check(7); !ok {
+		t.Fatal("pristine object must verify")
+	}
+	s.Corrupt(7, 0xDEAD)
+	if delta, ok := s.Check(7); ok || delta != 0xDEAD {
+		t.Fatalf("corrupted object verified: delta=%#x ok=%v", delta, ok)
+	}
+	if s.Corrupted() != 1 {
+		t.Fatalf("Corrupted = %d", s.Corrupted())
+	}
+	s.Repair(7)
+	if _, ok := s.Check(7); !ok {
+		t.Fatal("repaired object must verify")
+	}
+	if s.Corrupted() != 0 {
+		t.Fatalf("Corrupted = %d after repair", s.Corrupted())
+	}
+}
+
+func TestShadowXORSemantics(t *testing.T) {
+	s := NewShadow()
+	// Two identical corruptions cancel: the bit flips flip back.
+	s.Corrupt(3, 0xFF)
+	s.Corrupt(3, 0xFF)
+	if _, ok := s.Check(3); !ok {
+		t.Fatal("self-cancelling corruption must verify")
+	}
+	if s.Corrupted() != 0 {
+		t.Fatal("cancelled entry must not linger in the map")
+	}
+	// A zero mask is a no-op, not an entry.
+	s.Corrupt(4, 0)
+	if s.Corrupted() != 0 {
+		t.Fatal("zero-mask corruption created an entry")
+	}
+	// Distinct keys are independent.
+	s.Corrupt(1, 0x0F)
+	s.Corrupt(2, 0xF0)
+	if s.Corrupted() != 2 {
+		t.Fatalf("Corrupted = %d, want 2", s.Corrupted())
+	}
+	s.Repair(1)
+	if _, ok := s.Check(2); ok {
+		t.Fatal("repairing one key must not repair another")
+	}
+}

@@ -46,6 +46,10 @@ type Response struct {
 	Evicted      bool
 	EvictedLine  uint64
 	EvictedDirty bool
+	// Poisoned marks data returned from a line the fault plane quarantined
+	// after exhausting its retry budget: the value is not trustworthy, but
+	// the access completes (graceful degradation rather than a halt).
+	Poisoned bool
 }
 
 // Level is one layer of the memory hierarchy. Implementations: cache.Level

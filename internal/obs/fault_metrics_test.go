@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cosmos/internal/fault"
+	"cosmos/internal/telemetry"
+)
+
+// TestFaultMetricsExposition checks the obs leg of the fault plane: an
+// injector registered under the registry root's "fault" scope shows up in
+// the /metrics exposition as the cosmos_fault_* families, with the detection
+// counters carrying the campaign's numbers.
+func TestFaultMetricsExposition(t *testing.T) {
+	in, err := fault.NewInjector(fault.Config{Seed: 3, Rate: 1, TransientPct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(0)
+	in.OnFetch(fault.KindCtr, 10, true)
+	in.BeginStep(1)
+	in.OnFetch(fault.KindData, 11, true)
+
+	reg := telemetry.NewRegistry()
+	in.RegisterMetrics(reg.Root().Scope("fault"))
+	var out bytes.Buffer
+	if err := WriteMetrics(&out, reg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# TYPE cosmos_fault_detected_total counter",
+		"cosmos_fault_injected_total 2",
+		"cosmos_fault_detected_total 2",
+		"cosmos_fault_silent_total 0",
+		"cosmos_fault_transient_repaired_total 2",
+		"cosmos_fault_ctr_detected_total 1",
+		"cosmos_fault_data_detected_total 1",
+		"cosmos_fault_refetch_total 2",
+		"cosmos_fault_poisoned_lines 0",
+		"cosmos_fault_shadow_corrupted 0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exposition is missing %q\n%s", want, s)
+		}
+	}
+}
+
+// TestFaultNotifierPublishes: the broker adapter wraps each violation with
+// the run label and delivers it as one SSE "fault" event.
+func TestFaultNotifierPublishes(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	notify := b.FaultNotifier("mcf_COSMOS_fault")
+	notify(fault.Event{Step: 42, Kind: "ctr", Line: 7, Addr: 7 << 6, Outcome: "transient", Retries: 1})
+
+	ev := <-ch
+	if ev.Type != "fault" {
+		t.Fatalf("event type = %q", ev.Type)
+	}
+	var payload struct {
+		Run   string      `json:"run"`
+		Event fault.Event `json:"event"`
+	}
+	if err := json.Unmarshal(ev.Data, &payload); err != nil {
+		t.Fatalf("fault event payload not JSON: %v\n%s", err, ev.Data)
+	}
+	if payload.Run != "mcf_COSMOS_fault" {
+		t.Fatalf("run label = %q", payload.Run)
+	}
+	if payload.Event.Step != 42 || payload.Event.Kind != "ctr" || payload.Event.Outcome != "transient" {
+		t.Fatalf("event = %+v", payload.Event)
+	}
+}

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmos/internal/fault"
+	"cosmos/internal/sim"
+)
+
+// faultSpec is testSpec plus a fault campaign.
+func faultSpec(seed uint64) Spec {
+	sp := testSpec()
+	sp.Seed = seed
+	sp.Fault = &fault.Config{Seed: 17, Rate: 2e-4}
+	return sp
+}
+
+func TestSpecFaultEntersHash(t *testing.T) {
+	plain := testSpec()
+	faulted := faultSpec(plain.Seed)
+	if plain.Key() == faulted.Key() {
+		t.Fatal("a fault campaign must change the spec key")
+	}
+	reseeded := faulted
+	reseeded.Fault = &fault.Config{Seed: 18, Rate: 2e-4}
+	if faulted.Key() == reseeded.Key() {
+		t.Fatal("the fault seed must enter the hash")
+	}
+	if !strings.Contains(faulted.DisplayLabel(), "_fault") {
+		t.Fatalf("fault run label %q should be distinguishable", faulted.DisplayLabel())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    func(*Spec)
+		want string
+	}{
+		{"empty workload", func(s *Spec) { s.Workload = "" }, "empty workload"},
+		{"empty design", func(s *Spec) { s.Design.Name = "" }, "empty design"},
+		{"zero accesses", func(s *Spec) { s.Accesses = 0 }, "zero accesses"},
+		{"negative cores", func(s *Spec) { s.Cores = -2 }, "negative core count"},
+		{"bad fault", func(s *Spec) { s.Fault = &fault.Config{Rate: 7} }, "outside [0, 1]"},
+		{"bad config", func(s *Spec) {
+			cfg := sim.DefaultConfig()
+			cfg.MC.MemBytes = 0
+			s.Config = &cfg
+		}, "memory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := testSpec()
+			tc.f(&sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMalformedSpecFailsAsError(t *testing.T) {
+	o := New(Options{Workers: 1})
+	sp := testSpec()
+	sp.Workload = ""
+	if _, err := o.Run(context.Background(), sp); err == nil {
+		t.Fatal("orchestrator executed a malformed spec")
+	}
+}
+
+// TestFaultResultsDeterministicAcrossWorkers is the cross-worker leg of the
+// fault determinism contract: the same fault specs produce bit-identical
+// Results (fault report included) whether the campaign runs on one worker or
+// many in parallel.
+func TestFaultResultsDeterministicAcrossWorkers(t *testing.T) {
+	specs := []Spec{faultSpec(7), faultSpec(8), faultSpec(9)}
+	run := func(workers int) []sim.Results {
+		o := New(Options{Workers: workers})
+		out := make([]sim.Results, len(specs))
+		var wg sync.WaitGroup
+		for i, sp := range specs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r, err := o.Run(context.Background(), sp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = r
+			}()
+		}
+		wg.Wait()
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("spec %d results diverge across worker counts:\n%+v\nvs\n%+v",
+				i, serial[i], parallel[i])
+		}
+		if serial[i].Fault == nil || serial[i].Fault.Injected == 0 {
+			t.Fatalf("spec %d injected nothing: %+v", i, serial[i].Fault)
+		}
+	}
+}
+
+// TestFaultResultsSurviveStoreRoundTrip: the fault report persists and
+// restores bit-identically, and the faulted key never collides with the
+// fault-free one.
+func TestFaultResultsSurviveStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := faultSpec(7)
+	o := New(Options{Workers: 1, Store: st})
+	a, err := o.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := New(Options{Workers: 1, Store: st})
+	b, err := o2.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := o2.Stats(); stats.Restored != 1 || stats.Executed != 0 {
+		t.Fatalf("stats = %+v, want pure restore", stats)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("restored fault results differ from computed ones")
+	}
+	if b.Fault == nil || b.Fault.Injected == 0 {
+		t.Fatalf("fault report lost in the store round trip: %+v", b.Fault)
+	}
+}
+
+func TestWithRetryTransient(t *testing.T) {
+	defer func(s func(time.Duration)) { storeSleep = s }(storeSleep)
+	var slept []time.Duration
+	storeSleep = func(d time.Duration) { slept = append(slept, d) }
+
+	st := &Store{}
+	fails := 2
+	err := st.withRetry(func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("retryable op failed despite recovery: %v", err)
+	}
+	if st.Retries() != 2 || len(slept) != 2 {
+		t.Fatalf("retries = %d, sleeps = %d, want 2 each", st.Retries(), len(slept))
+	}
+	// Exponential backoff: the second wait draws from a doubled base.
+	if slept[1] < storeRetryBase<<1 || slept[1] > storeRetryBase<<2 {
+		t.Fatalf("second backoff %v outside [2x, 4x) base", slept[1])
+	}
+
+	// A permanent failure is retried to the attempt budget, then surfaced.
+	st2 := &Store{}
+	calls := 0
+	if err := st2.withRetry(func() error { calls++; return errors.New("down") }, nil); err == nil {
+		t.Fatal("permanent failure swallowed")
+	}
+	if calls != storeAttempts {
+		t.Fatalf("op ran %d times, want %d", calls, storeAttempts)
+	}
+
+	// A non-retryable error surfaces immediately.
+	st3 := &Store{}
+	calls = 0
+	sentinel := errors.New("missing")
+	err = st3.withRetry(func() error { calls++; return sentinel }, func(error) bool { return false })
+	if !errors.Is(err, sentinel) || calls != 1 || st3.Retries() != 0 {
+		t.Fatalf("non-retryable error retried: calls=%d retries=%d err=%v", calls, st3.Retries(), err)
+	}
+}

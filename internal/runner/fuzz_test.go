@@ -1,0 +1,43 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadIndex feeds arbitrary bytes to the store's index.jsonl parser.
+// The contract under corruption is graceful degradation: OpenStore never
+// panics and never errors on a damaged index (damaged entries just
+// recompute), and any well-formed line that survived the damage is kept.
+func FuzzLoadIndex(f *testing.F) {
+	f.Add([]byte(`{"key":"abc","label":"l","workload":"mcf","design":"NP","accesses":1,"seed":7}` + "\n"))
+	f.Add([]byte(`{"key":"abc"`))                           // truncated mid-object
+	f.Add([]byte("{\"key\":\"a\"}\n{\"key\":"))             // valid line + partial tail
+	f.Add([]byte("\x00\xff\xfe garbage \n not json \n"))    // binary noise
+	f.Add([]byte(`{"key":""}` + "\n"))                      // empty key: skipped
+	f.Add([]byte(`[1,2,3]` + "\n" + `{"key":"ok"}` + "\n")) // wrong JSON shape then valid
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, index []byte) {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "index.jsonl"), index, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("OpenStore must tolerate a corrupt index: %v", err)
+		}
+		// The parsed entries must be internally consistent, whatever survived.
+		if got := len(st.Index()); got != st.Len() {
+			t.Fatalf("Index() lists %d entries, Len() says %d", got, st.Len())
+		}
+		for _, e := range st.Index() {
+			if e.Key == "" {
+				t.Fatal("empty-key entry kept")
+			}
+		}
+	})
+}

@@ -258,6 +258,7 @@ func (o *Orchestrator) RegisterMetrics(scope *telemetry.Scope) {
 		sc.CounterFunc("hits", func() uint64 { h, _, _ := o.store.Counters(); return h })
 		sc.CounterFunc("misses", func() uint64 { _, m, _ := o.store.Counters(); return m })
 		sc.CounterFunc("corrupt_recomputed", func() uint64 { _, _, c := o.store.Counters(); return c })
+		sc.CounterFunc("retries", o.store.Retries)
 	}
 }
 
@@ -411,6 +412,10 @@ func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (r
 		}
 	}()
 
+	if err := spec.Validate(); err != nil {
+		return sim.Results{}, err
+	}
+
 	gen, err := workloads.Build(spec.Workload, workloads.Options{
 		Threads:     spec.Cores,
 		Seed:        spec.Seed,
@@ -457,6 +462,10 @@ func cloneResults(r sim.Results) sim.Results {
 	if r.CtrPred != nil {
 		cp := *r.CtrPred
 		r.CtrPred = &cp
+	}
+	if r.Fault != nil {
+		cp := *r.Fault
+		r.Fault = &cp
 	}
 	return r
 }

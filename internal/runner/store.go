@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cosmos/internal/sim"
 )
@@ -59,10 +61,45 @@ type Store struct {
 	hits    atomic.Uint64 // valid record found and loaded
 	misses  atomic.Uint64 // no record on disk
 	corrupt atomic.Uint64 // record present but unreadable → recompute
+	retries atomic.Uint64 // I/O attempts retried after a transient error
 
 	mu    sync.Mutex
 	index map[string]IndexEntry
 }
+
+// Transient result-store I/O (a network filesystem hiccup, an EINTR, a
+// briefly locked file) is retried with jittered exponential backoff before
+// the error is surfaced: storeAttempts tries total, sleeping
+// storeRetryBase<<attempt plus up to that much jitter between them.
+const storeAttempts = 3
+
+var (
+	storeRetryBase = 5 * time.Millisecond
+	storeSleep     = time.Sleep // swapped out by tests
+)
+
+// withRetry runs op up to storeAttempts times, backing off between
+// attempts. retryable filters which errors are worth retrying (a missing
+// file never is); a nil filter retries everything. Each retried attempt is
+// counted in the store's retries counter.
+func (st *Store) withRetry(op func() error, retryable func(error) bool) error {
+	var err error
+	for attempt := 0; attempt < storeAttempts; attempt++ {
+		if attempt > 0 {
+			st.retries.Add(1)
+			back := storeRetryBase << (attempt - 1)
+			storeSleep(back + rand.N(back))
+		}
+		if err = op(); err == nil || (retryable != nil && !retryable(err)) {
+			return err
+		}
+	}
+	return err
+}
+
+// Retries reports how many I/O attempts were retried after transient
+// errors (exported to telemetry as runner.store.retries).
+func (st *Store) Retries() uint64 { return st.retries.Load() }
 
 // OpenStore opens (creating if needed) a result store rooted at dir.
 func OpenStore(dir string) (*Store, error) {
@@ -124,7 +161,11 @@ func (st *Store) loadIndex() error {
 		st.index[e.Key] = e
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("runner: read store index: %w", err)
+		// A truncated or unreadable tail (killed writer, oversized line)
+		// costs only the unparsed entries: Get reads result files directly,
+		// so the affected runs recompute instead of failing the open.
+		slog.Warn("result store: index read stopped early, keeping parsed prefix",
+			"path", st.indexPath(), "entries", len(st.index), "err", err)
 	}
 	return nil
 }
@@ -134,7 +175,11 @@ func (st *Store) loadIndex() error {
 // re-simulates, so a damaged store degrades to a slower campaign, never a
 // wrong one. Outcomes are counted (see Counters).
 func (st *Store) Get(key string) (sim.Results, bool) {
-	b, err := os.ReadFile(st.runPath(key))
+	var b []byte
+	err := st.withRetry(func() (e error) {
+		b, e = os.ReadFile(st.runPath(key))
+		return e
+	}, func(e error) bool { return !os.IsNotExist(e) })
 	if err != nil {
 		if os.IsNotExist(err) {
 			st.misses.Add(1)
@@ -179,10 +224,12 @@ func (st *Store) Put(key string, spec Spec, r sim.Results) error {
 	}
 	path := st.runPath(key)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := st.withRetry(func() error {
+		if e := os.WriteFile(tmp, append(b, '\n'), 0o644); e != nil {
+			return e
+		}
+		return os.Rename(tmp, path)
+	}, nil); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -204,12 +251,15 @@ func (st *Store) Put(key string, spec Spec, r sim.Results) error {
 	if err != nil {
 		return fmt.Errorf("runner: encode index entry %s: %w", key, err)
 	}
-	f, err := os.OpenFile(st.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := f.Write(append(line, '\n')); err != nil {
+	if err := st.withRetry(func() error {
+		f, e := os.OpenFile(st.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if e != nil {
+			return e
+		}
+		defer f.Close()
+		_, e = f.Write(append(line, '\n'))
+		return e
+	}, nil); err != nil {
 		return err
 	}
 	st.index[key] = entry

@@ -32,12 +32,11 @@ func (l *Level) Name() string { return "mem" }
 func (l *Level) Latency() uint64 { return l.e.dram.MinReadLatency() }
 
 // Access implements memsys.Level: a demand data read from DRAM. Memory
-// never misses.
+// never misses, but a read that lands on a line the fault plane quarantined
+// comes back flagged Poisoned.
 func (l *Level) Access(r memsys.Request) memsys.Response {
-	return memsys.Response{
-		Hit:     true,
-		Latency: l.e.DataDRAM(r.Now, memsys.LineToAddr(r.Line), r.Write),
-	}
+	lat, poisoned := l.e.dataAccess(r.Now, memsys.LineToAddr(r.Line), r.Write)
+	return memsys.Response{Hit: true, Latency: lat, Poisoned: poisoned}
 }
 
 // Writeback absorbs a dirty victim: the data write goes to DRAM, and if

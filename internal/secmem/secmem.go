@@ -15,6 +15,7 @@ import (
 	"cosmos/internal/core"
 	"cosmos/internal/ctr"
 	"cosmos/internal/dram"
+	"cosmos/internal/fault"
 	"cosmos/internal/integrity"
 	"cosmos/internal/memsys"
 	"cosmos/internal/prefetch"
@@ -164,6 +165,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate rejects memory-controller parameters that would panic deep in
+// NewEngine or Step, with errors that name the offending field.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("secmem: cores %d must be at least 1", c.Cores)
+	}
+	if c.MemBytes == 0 {
+		return fmt.Errorf("secmem: zero memory size")
+	}
+	if err := cache.ValidateGeometry("ctr", c.CtrCacheBytes, c.CtrCacheWays); err != nil {
+		return fmt.Errorf("secmem: %w", err)
+	}
+	if err := cache.ValidateGeometry("lcr-ctr", c.LCRCacheBytes, c.CtrCacheWays); err != nil {
+		return fmt.Errorf("secmem: %w", err)
+	}
+	if err := cache.ValidateGeometry("mac", c.MACCacheBytes, 8); err != nil {
+		return fmt.Errorf("secmem: %w", err)
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Traffic decomposes DRAM requests the way Fig 2 does.
 type Traffic struct {
 	DataRead        uint64
@@ -181,6 +206,18 @@ type Traffic struct {
 func (t Traffic) Total() uint64 {
 	return t.DataRead + t.DataWrite + t.CtrRead + t.CtrWrite +
 		t.MTRead + t.MACRead + t.MACWrite + t.ReEncWrite + t.WastedDataFetch
+}
+
+// ReEncStats decomposes re-encryption activity by cause: MorphCtr minor-
+// counter overflow (the normal storm), unrecoverable counter faults
+// (poisoned lines force the block under a fresh counter), and crash
+// recovery (lost dirty counter lines rebuilt on restart).
+type ReEncStats struct {
+	OverflowEvents uint64 // counter-block overflows observed
+	OverflowLines  uint64 // lines re-encrypted because of overflows
+	FaultLines     uint64 // lines re-encrypted because of poisoned counters
+	CrashLines     uint64 // dirty counter lines rebuilt by crash recovery
+	StallCycles    uint64 // summed DRAM occupancy of re-encryption writes
 }
 
 // Engine is the secure memory controller.
@@ -209,7 +246,14 @@ type Engine struct {
 	// from DRAM per verification walk (telemetry; see RegisterMetrics).
 	walkHist *telemetry.Histogram
 
+	// faults, when non-nil, is the attached fault plane: every demand
+	// fetch of a covered object consults it and charges the resulting
+	// retry latency. Nil (the default) costs one branch per fetch and
+	// keeps the engine bit-identical to a fault-free build.
+	faults *fault.Injector
+
 	Traffic   Traffic
+	ReEnc     ReEncStats
 	CtrHits   uint64
 	CtrMisses uint64
 }

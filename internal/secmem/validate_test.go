@@ -1,0 +1,33 @@
+package secmem
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutate := func(f func(*Config)) error {
+		cfg := DefaultConfig()
+		f(&cfg)
+		return cfg.Validate()
+	}
+	cases := []struct {
+		name string
+		f    func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"zero memory", func(c *Config) { c.MemBytes = 0 }},
+		{"bad ctr geometry", func(c *Config) { c.CtrCacheBytes = 100 }},
+		{"zero ctr ways", func(c *Config) { c.CtrCacheWays = 0 }},
+		{"bad lcr geometry", func(c *Config) { c.LCRCacheBytes = 7 }},
+		{"bad mac geometry", func(c *Config) { c.MACCacheBytes = 48 << 10 }},
+		{"bad dram rows", func(c *Config) { c.DRAM.RowBytes = 100 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := mutate(tc.f); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

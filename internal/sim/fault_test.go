@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cosmos/internal/fault"
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+)
+
+// faultRun executes a small COSMOS campaign under the given fault config
+// (nil = fault-free) and returns the Results plus the violation event log.
+// The on-chip caches are shrunk so dirty writebacks (and hence dirty
+// counter-cache lines) exist within the short run.
+func faultRun(t *testing.T, fc *fault.Config, accesses uint64) (Results, []fault.Event) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.L2Bytes = 128 << 10
+	cfg.LLCBytes = 512 << 10
+	cfg.Fault = fc
+	s := New(cfg, secmem.DesignCosmos())
+	var events []fault.Event
+	if in := s.Faults(); in != nil {
+		in.Notify = func(ev fault.Event) { events = append(events, ev) }
+	}
+	gen := trace.NewUniform(region(1<<28, 256<<20), 10, 11, 1)
+	return s.Run(trace.Limit(gen, accesses), accesses), events
+}
+
+// TestFaultRateZeroBitIdentical is the hard invariant of the fault plane: a
+// zero-rate config must not even build an injector, and the Results must be
+// bit-identical to a run with no fault section at all.
+func TestFaultRateZeroBitIdentical(t *testing.T) {
+	base, _ := faultRun(t, nil, 30000)
+	zero, _ := faultRun(t, &fault.Config{Seed: 9}, 30000)
+	if !reflect.DeepEqual(base, zero) {
+		t.Fatalf("fault-rate 0 perturbed the Results:\nbase %+v\nzero %+v", base, zero)
+	}
+	cfg := testConfig()
+	cfg.Fault = &fault.Config{Seed: 9}
+	if s := New(cfg, secmem.DesignCosmos()); s.Faults() != nil {
+		t.Fatal("zero-rate config built an injector")
+	}
+	if base.Fault != nil {
+		t.Fatal("fault-free Results must carry no fault report")
+	}
+}
+
+// TestFaultDetectionAccounting checks the 100%-detection contract: on a
+// secure design every injected corruption of a covered kind is detected
+// exactly once — Detected+Silent == Injected with Silent == 0, the per-kind
+// detections sum to the total, and every detection ends either transient or
+// poisoned.
+func TestFaultDetectionAccounting(t *testing.T) {
+	r, events := faultRun(t, &fault.Config{Seed: 13, Rate: 2e-4}, 60000)
+	rep := r.Fault
+	if rep == nil {
+		t.Fatal("fault campaign produced no report")
+	}
+	if rep.Injected == 0 {
+		t.Fatal("campaign injected nothing; rate too low for the run length")
+	}
+	if rep.Detected+rep.Silent != rep.Injected {
+		t.Fatalf("detected %d + silent %d != injected %d", rep.Detected, rep.Silent, rep.Injected)
+	}
+	if rep.Silent != 0 {
+		t.Fatalf("COSMOS covers every fetched object, yet %d faults were silent", rep.Silent)
+	}
+	if sum := rep.DataDetected + rep.CtrDetected + rep.MACDetected + rep.MTDetected; sum != rep.Detected {
+		t.Fatalf("per-kind detections sum to %d, want %d", sum, rep.Detected)
+	}
+	if rep.TransientRepaired+rep.Poisoned != rep.Detected {
+		t.Fatalf("transient %d + poisoned %d != detected %d",
+			rep.TransientRepaired, rep.Poisoned, rep.Detected)
+	}
+	if rep.Refetches == 0 || rep.RetryCycles == 0 {
+		t.Fatalf("detected faults must charge retries: %+v", rep)
+	}
+	if uint64(len(events)) != rep.Injected {
+		t.Fatalf("event log has %d entries for %d injections", len(events), rep.Injected)
+	}
+}
+
+// TestFaultSilentOnUnprotectedDesign: the NP baseline has no integrity
+// machinery, so data corruptions pass through undetected and accumulate in
+// the functional shadow.
+func TestFaultSilentOnUnprotectedDesign(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Config{Seed: 13, Rate: 2e-4, Kinds: "data"}
+	s := New(cfg, secmem.DesignNP())
+	gen := trace.NewUniform(region(1<<28, 256<<20), 10, 11, 1)
+	r := s.Run(trace.Limit(gen, 60000), 60000)
+	rep := r.Fault
+	if rep == nil || rep.Injected == 0 {
+		t.Fatalf("campaign injected nothing: %+v", rep)
+	}
+	if rep.Detected != 0 {
+		t.Fatalf("NP cannot detect anything, yet Detected = %d", rep.Detected)
+	}
+	if rep.Silent != rep.Injected {
+		t.Fatalf("silent %d != injected %d", rep.Silent, rep.Injected)
+	}
+	if s.Faults().ShadowCorrupted() == 0 {
+		t.Fatal("silent corruptions must stay resident in the shadow")
+	}
+}
+
+// TestFaultDeterminism: the fault stream is a pure function of the seed, so
+// two runs under the same config agree on everything — Results, the fault
+// report, and the full ordered violation log.
+func TestFaultDeterminism(t *testing.T) {
+	fc := &fault.Config{Seed: 21, Rate: 3e-4}
+	r1, e1 := faultRun(t, fc, 40000)
+	r2, e2 := faultRun(t, fc, 40000)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("Results diverge under the same fault seed:\n%+v\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("violation logs diverge: %d vs %d events", len(e1), len(e2))
+	}
+	r3, _ := faultRun(t, &fault.Config{Seed: 22, Rate: 3e-4}, 40000)
+	if reflect.DeepEqual(r1.Fault, r3.Fault) {
+		t.Fatal("different seeds produced the identical campaign")
+	}
+}
+
+// TestCrashRecovery: a -crash-at run completes, books the crash coordinates
+// and a nonzero recovery cost, and is slower end-to-end than the same run
+// without the crash.
+func TestCrashRecovery(t *testing.T) {
+	clean, _ := faultRun(t, nil, 30000)
+	crashed, events := faultRun(t, &fault.Config{CrashAt: 15000}, 30000)
+	rep := crashed.Fault
+	if rep == nil {
+		t.Fatal("crash run produced no fault report")
+	}
+	if rep.CrashStep != 15000 {
+		t.Fatalf("CrashStep = %d, want 15000", rep.CrashStep)
+	}
+	if rep.RecoveryCycles == 0 || rep.RecoveryFetches == 0 || rep.CrashLinesLost == 0 {
+		t.Fatalf("recovery cost not booked: %+v", rep)
+	}
+	if crashed.Cycles <= clean.Cycles {
+		t.Fatalf("crash run cycles %d should exceed clean run %d", crashed.Cycles, clean.Cycles)
+	}
+	var sawCrash bool
+	for _, ev := range events {
+		if ev.Outcome == "crash" {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("crash event not published to the Notify hook")
+	}
+}
+
+// TestCrashDropRL: losing the learned tables at the crash point must not
+// break the run; the predictor relearns from scratch.
+func TestCrashDropRL(t *testing.T) {
+	r, _ := faultRun(t, &fault.Config{CrashAt: 15000, CrashDropRL: true}, 30000)
+	if r.Fault == nil || r.Fault.RecoveryCycles == 0 {
+		t.Fatalf("crash-drop-rl run did not book recovery: %+v", r.Fault)
+	}
+	if r.DataPred == nil || r.DataPred.Total() == 0 {
+		t.Fatal("predictor dead after table reset")
+	}
+}
+
+// TestPoisonedLinesDegradeGracefully forces every fault persistent: lines
+// get quarantined, counter poisonings force block re-encryptions, and the
+// run still completes.
+func TestPoisonedLinesDegradeGracefully(t *testing.T) {
+	r, events := faultRun(t, &fault.Config{Seed: 5, Rate: 3e-4, TransientPct: -1}, 40000)
+	rep := r.Fault
+	if rep == nil || rep.Detected == 0 {
+		t.Fatalf("campaign detected nothing: %+v", rep)
+	}
+	if rep.TransientRepaired != 0 {
+		t.Fatalf("TransientPct -1 must disable transients: %+v", rep)
+	}
+	if rep.Poisoned != rep.Detected {
+		t.Fatalf("poisoned %d != detected %d", rep.Poisoned, rep.Detected)
+	}
+	for _, ev := range events {
+		if ev.Outcome == "transient" {
+			t.Fatalf("transient event under TransientPct -1: %+v", ev)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutate := func(f func(*Config)) error {
+		cfg := testConfig()
+		f(&cfg)
+		return cfg.Validate()
+	}
+	cases := []struct {
+		name string
+		f    func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"zero mlp", func(c *Config) { c.MLP = 0 }},
+		{"zero instr-per-access", func(c *Config) { c.InstrPerAccess = 0 }},
+		{"non-power-of-two L1", func(c *Config) { c.L1Bytes = 48 << 10 }},
+		{"zero L2 latency", func(c *Config) { c.L2Lat = 0 }},
+		{"zero mem", func(c *Config) { c.MC.MemBytes = 0 }},
+		{"bad ctr cache", func(c *Config) { c.MC.CtrCacheBytes = 100 }},
+		{"bad dram row", func(c *Config) { c.MC.DRAM.RowBytes = 100 }},
+		{"bad fault rate", func(c *Config) { c.Fault = &fault.Config{Rate: 2} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := mutate(tc.f); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"cosmos/internal/cache"
 	"cosmos/internal/core"
 	"cosmos/internal/dram"
+	"cosmos/internal/fault"
 	"cosmos/internal/memsys"
 	"cosmos/internal/prefetch"
 	"cosmos/internal/secmem"
@@ -57,6 +58,59 @@ type Config struct {
 	MLP uint64
 
 	MC secmem.Config
+
+	// Fault, when non-nil and enabled, attaches the deterministic fault
+	// plane (internal/fault) to the memory controller. Nil — or an all-zero
+	// config — keeps the simulation bit-identical to a fault-free build.
+	Fault *fault.Config `json:",omitempty"`
+}
+
+// Validate rejects configurations that would otherwise panic deep inside
+// Step: non-power-of-two cache geometry, zero latencies, degenerate core or
+// overlap counts, bad DRAM geometry and unusable fault campaigns. The CLIs
+// and the runner call it before building a System.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: cores %d must be at least 1", c.Cores)
+	}
+	if c.MLP < 1 {
+		return fmt.Errorf("sim: mlp %d must be at least 1", c.MLP)
+	}
+	if c.InstrPerAccess < 1 {
+		return fmt.Errorf("sim: instr-per-access %d must be at least 1", c.InstrPerAccess)
+	}
+	specs := c.levelSpecs()
+	if len(specs) == 0 {
+		return fmt.Errorf("sim: empty level chain")
+	}
+	shared := false
+	for _, sp := range specs {
+		if sp.Name == "" {
+			return fmt.Errorf("sim: unnamed cache level")
+		}
+		if err := cache.ValidateGeometry(sp.Name, sp.Bytes, sp.Ways); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if sp.Lat == 0 {
+			return fmt.Errorf("sim: level %q has zero latency", sp.Name)
+		}
+		if sp.Shared {
+			shared = true
+		} else if shared {
+			return fmt.Errorf("sim: private level %q below a shared level", sp.Name)
+		}
+	}
+	mc := c.MC
+	mc.Cores = c.Cores // New overwrites it the same way
+	if err := mc.Validate(); err != nil {
+		return err
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // levelSpecs resolves the on-chip hierarchy: the explicit Levels list when
@@ -147,6 +201,10 @@ type System struct {
 	sampler   *telemetry.Sampler
 	tracer    *telemetry.Tracer
 	fetchHist *telemetry.Histogram
+
+	// faults, when non-nil, is the attached fault plane (also wired into
+	// the memory controller engine).
+	faults *fault.Injector
 }
 
 // New builds a system for the given design point: the secure-memory
@@ -158,6 +216,14 @@ func New(cfg Config, design secmem.Design) *System {
 	s.specs = cfg.levelSpecs()
 	s.mc = secmem.NewEngine(cfg.MC, design)
 	s.terminal = secmem.NewLevel(s.mc)
+	if cfg.Fault.Enabled() {
+		in, err := fault.NewInjector(*cfg.Fault)
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err)) // Config.Validate catches this earlier
+		}
+		s.faults = in
+		s.mc.AttachFaults(in)
+	}
 
 	s.sharedFrom = len(s.specs)
 	for i, sp := range s.specs {
@@ -216,6 +282,10 @@ func New(cfg Config, design secmem.Design) *System {
 // MC exposes the memory controller (for experiment harnesses).
 func (s *System) MC() *secmem.Engine { return s.mc }
 
+// Faults exposes the attached fault injector (nil when faults are
+// disabled), e.g. to hook its Notify callback up to an event broker.
+func (s *System) Faults() *fault.Injector { return s.faults }
+
 // Chain returns core c's on-chip hierarchy, top (L1) first. Shared levels
 // appear in every core's chain as the same Level value; the secure-memory
 // terminal is not included (see Terminal).
@@ -253,6 +323,9 @@ func (s *System) RegisterMetrics(root *telemetry.Scope) {
 		s.chains[0][i].RegisterMetrics(root.Scope(s.specs[i].Name))
 	}
 	s.mc.RegisterMetrics(root.Scope("secmem"))
+	if s.faults != nil {
+		s.faults.RegisterMetrics(root.Scope("fault"))
+	}
 }
 
 // AttachSampler enables interval sampling during Run. The sampler must be
@@ -289,6 +362,15 @@ const (
 // clock.
 func (s *System) Step(a memsys.Access) uint64 {
 	c := int(a.Thread) % s.cfg.Cores
+	if s.faults != nil {
+		// Pin the fault stream to this access's index so every draw the
+		// access triggers is a pure function of (seed, kind, step, line),
+		// then fire the crash point if it is due.
+		s.faults.BeginStep(s.accesses)
+		if s.faults.CrashDue(s.accesses) {
+			s.crash()
+		}
+	}
 	now := s.threadCycles[c]
 	write := a.Type == memsys.Write
 	chain := s.chains[c]
@@ -348,6 +430,24 @@ func (s *System) Step(a memsys.Access) uint64 {
 
 	s.advance(c, write, a.Dep, lat)
 	return lat
+}
+
+// crash fires the configured crash point: the memory controller loses its
+// volatile metadata state (and, when configured, the RL tables), the
+// recovery protocol replays, and its serial cost stalls every thread — so
+// recovery latency shows up directly in Cycles and IPC.
+func (s *System) crash() {
+	var now uint64
+	for _, cyc := range s.threadCycles {
+		if cyc > now {
+			now = cyc
+		}
+	}
+	cycles, fetches, lost := s.mc.Crash(now, s.faults.CrashDropRL())
+	s.faults.RecordCrash(s.accesses, cycles, fetches, lost)
+	for i := range s.threadCycles {
+		s.threadCycles[i] = now + cycles
+	}
 }
 
 // advance applies the cycle cost of one access group to its thread: compute
@@ -488,6 +588,11 @@ type Results struct {
 	CtrPred  *core.CtrStats
 	Prefetch prefetch.Stats
 
+	// Fault carries the fault campaign's outcome (injections, detections,
+	// retries, poisoned lines, crash recovery cost). Nil when the run had
+	// no fault plane attached, so fault-free Results are unchanged.
+	Fault *fault.Report `json:",omitempty"`
+
 	SMAT float64
 }
 
@@ -536,6 +641,10 @@ func (s *System) Results(workload string) Results {
 	if s.mc.CtrPred != nil {
 		st := s.mc.CtrPred.Stats
 		res.CtrPred = &st
+	}
+	if s.faults != nil {
+		rep := s.faults.Report()
+		res.Fault = &rep
 	}
 	res.SMAT = s.smat()
 	return res

@@ -113,6 +113,10 @@ func BuildGraph(name string, o Options) (trace.Generator, error) {
 // `cosmos-trace -export` (or trace.WriteFile).
 func Build(name string, o Options) (trace.Generator, error) {
 	o = o.withDefaults()
+	if name == "" {
+		return nil, fmt.Errorf("workloads: empty workload name (valid: %s, or file:<path>)",
+			strings.Join(AllNames(), ", "))
+	}
 	if strings.HasPrefix(name, "file:") {
 		g, err := trace.OpenFile(strings.TrimPrefix(name, "file:"))
 		if err != nil {
