@@ -8,8 +8,6 @@ package cosmos
 // the full-scale reproduction recorded in EXPERIMENTS.md.
 
 import (
-	"encoding/json"
-	"os"
 	"testing"
 
 	"cosmos/internal/cache"
@@ -201,59 +199,6 @@ func BenchmarkStep(b *testing.B) {
 			}
 		})
 	}
-}
-
-// TestWriteBenchJSON renders the BenchmarkStep sub-benchmarks into a
-// machine-readable JSON file (ns/op and allocs/op per design) for the CI
-// artifact trail. Gated by COSMOS_BENCH_JSON naming the output path, so the
-// regular test run never pays for benchmark iterations:
-//
-//	COSMOS_BENCH_JSON=BENCH_step.json go test -run TestWriteBenchJSON .
-func TestWriteBenchJSON(t *testing.T) {
-	path := os.Getenv("COSMOS_BENCH_JSON")
-	if path == "" {
-		t.Skip("set COSMOS_BENCH_JSON=<path> to write the benchmark report")
-	}
-	type entry struct {
-		Design      string  `json:"design"`
-		Iterations  int     `json:"iterations"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-		BytesPerOp  int64   `json:"bytes_per_op"`
-	}
-	var report []entry
-	for _, d := range []secmem.Design{
-		secmem.DesignNP(), secmem.DesignMorph(), secmem.DesignCosmos(),
-	} {
-		d := d
-		r := testing.Benchmark(func(b *testing.B) {
-			cfg := sim.DefaultConfig()
-			cfg.MC.MemBytes = 1 << 30
-			s := sim.New(cfg, d)
-			gen := trace.NewUniform(memsys.Region{Base: 1 << 28, Size: 256 << 20, Elem: 1}, 20, 3, 1)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				a, _ := gen.Next()
-				s.Step(a)
-			}
-		})
-		report = append(report, entry{
-			Design:      d.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-	}
-	b, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s", path)
 }
 
 // TestStepZeroAllocsTelemetryDisabled pins the same property as a hard

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +51,7 @@ func run() int {
 		list    = flag.Bool("list", false, "print the available experiment ids and exit")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction, 0 = smoke)")
 		csv     = flag.Bool("csv", false, "emit CSV")
+		jsonSum = flag.Bool("json", false, "emit a machine-readable campaign summary (run counts, wall-time phase breakdown, accesses/sec) as JSON on exit")
 		out     = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
 		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
@@ -129,6 +131,13 @@ func run() int {
 	}
 	table := obs.NewRunTable(*par, broker)
 
+	// The campaign-level phase accumulator: every simulation's attributed
+	// wall time (decode / step / store / report) and access count merge into
+	// it, feeding the live rate in progress lines, /runs snapshots, the
+	// cosmos_perf_* metric families and the exit summary.
+	phases := telemetry.NewPhases()
+	table.AttachPhases(phases)
+
 	lopts := []experiments.LabOption{
 		experiments.WithContext(ctx),
 		experiments.WithWorkers(*par),
@@ -151,6 +160,9 @@ func run() int {
 			}
 			if eta, ok := table.ETA(); ok {
 				args = append(args, "eta", eta.Round(time.Second))
+			}
+			if rate := phases.Rate(); rate > 0 {
+				args = append(args, "rate", fmt.Sprintf("%.3g/s", rate))
 			}
 			logger.Info("progress", args...)
 		}),
@@ -180,11 +192,13 @@ func run() int {
 		lopts = append(lopts, experiments.WithStore(store))
 	}
 	lab := experiments.NewLab(experiments.Scaled(*scale), lopts...)
+	lab.Orchestrator().Phases = phases
 	lab.Instrument = instrumentHook(logger, *statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit, broker)
 
 	if *listen != "" {
 		reg := telemetry.NewRegistry()
 		lab.Orchestrator().RegisterMetrics(reg.Root())
+		phases.RegisterMetrics(reg.Root().Scope("perf"))
 		srv := obs.NewServer(obs.Config{
 			Component: "cosmos-bench",
 			Registry:  reg,
@@ -217,6 +231,22 @@ func run() int {
 		if st.Executed > 0 {
 			fmt.Printf("simulation wall time %.1fs, worker queue wait %.1fs\n",
 				st.ExecTime.Seconds(), st.QueueWait.Seconds())
+		}
+		pb := phases.Breakdown()
+		if pb.Accesses > 0 {
+			fmt.Printf("campaign wall %.1fs: decode %.1fs, step %.1fs, store %.1fs, report %.1fs — %d simulated accesses (%.3g/s)\n",
+				pb.WallMS/1000, pb.DecodeMS/1000, pb.StepMS/1000, pb.StoreMS/1000, pb.ReportMS/1000,
+				pb.Accesses, pb.AccessesPerSec)
+		}
+		if *jsonSum {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				runner.Stats
+				Perf telemetry.PhaseBreakdown
+			}{st, pb}); err != nil {
+				logger.Error("encode campaign summary", "err", err)
+			}
 		}
 		if store != nil {
 			hits, misses, corrupt := store.Counters()

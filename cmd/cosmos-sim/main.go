@@ -129,6 +129,12 @@ func main() {
 	s := sim.New(cfg, d)
 	label := *workload + "_" + d.Name
 
+	// Phase attribution is always on: the attributed run loop costs ~two
+	// clock reads per 256 steps and feeds the wall-time breakdown in the
+	// summary, the -json Perf block and the cosmos_perf_* metric families.
+	phases := telemetry.NewPhases()
+	s.AttachPhases(phases)
+
 	var broker *obs.Broker
 	var table *obs.RunTable
 	if *listen != "" {
@@ -142,6 +148,7 @@ func main() {
 	if *statsOut != "" || *traceOut != "" || *listen != "" {
 		reg := telemetry.NewRegistry()
 		s.RegisterMetrics(reg.Root())
+		phases.RegisterMetrics(reg.Root().Scope("perf"))
 		sinks := telemetry.SamplerConfig{Interval: *statsIvl}
 		if *statsOut != "" {
 			f, err := os.Create(*statsOut)
@@ -230,10 +237,12 @@ func main() {
 	}
 	started := time.Now()
 	r, runErr := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
+	wall := time.Since(started)
+	pb := phases.Breakdown()
 	if table != nil {
 		table.Observe(runner.Transition{
 			Key: label, Label: label, Phase: runner.PhaseDone,
-			Source: runner.SourceExecuted, ExecTime: time.Since(started), Err: runErr,
+			Source: runner.SourceExecuted, ExecTime: wall, Err: runErr, Perf: &pb,
 		})
 	}
 	if runErr != nil {
@@ -241,19 +250,31 @@ func main() {
 			"completed", r.Accesses, "requested", *accesses, "err", runErr)
 	}
 	if *jsonOut {
+		// Results stays embedded at the top level (scripts read fields like
+		// .Fault directly); the perf breakdown rides as a sibling key.
+		out := struct {
+			sim.Results
+			Perf telemetry.PhaseBreakdown
+		}{r, pb}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
+		if err := enc.Encode(out); err != nil {
 			die("encode results", err)
 		}
 		return
 	}
-	printResults(r, *csv)
+	printResults(r, wall, pb, *csv)
 }
 
-func printResults(r sim.Results, csv bool) {
+func printResults(r sim.Results, wall time.Duration, pb telemetry.PhaseBreakdown, csv bool) {
 	t := stats.NewTable(fmt.Sprintf("%s on %s", r.Design, r.Workload), "metric", "value")
 	t.Row("accesses", r.Accesses)
+	t.Row("wall time", wall.Round(time.Millisecond))
+	if secs := wall.Seconds(); secs > 0 {
+		t.Row("simulated accesses/sec", fmt.Sprintf("%.4g", float64(r.Accesses)/secs))
+	}
+	t.Row("phase breakdown (ms)", fmt.Sprintf("decode %.0f, step %.0f, report %.0f",
+		pb.DecodeMS, pb.StepMS, pb.ReportMS))
 	t.Row("reads/writes", fmt.Sprintf("%d/%d", r.Reads, r.Writes))
 	t.Row("instructions", r.Instructions)
 	t.Row("cycles", r.Cycles)

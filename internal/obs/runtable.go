@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cosmos/internal/runner"
+	"cosmos/internal/telemetry"
 )
 
 // RunTable is the live state of a campaign: one Cell per run-request key,
@@ -18,6 +19,7 @@ type RunTable struct {
 	workers int
 	broker  *Broker          // optional: transitions are also published here
 	now     func() time.Time // injectable for tests
+	phases  *telemetry.Phases
 
 	mu      sync.Mutex
 	cells   map[string]*Cell
@@ -39,9 +41,16 @@ type Cell struct {
 	ExecMS      int64  `json:"exec_ms"`
 	// StartedUnixMS / FinishedUnixMS are wall-clock unix milliseconds of
 	// the first and terminal transition (0 = not reached yet).
-	StartedUnixMS  int64  `json:"started_unix_ms"`
-	FinishedUnixMS int64  `json:"finished_unix_ms,omitempty"`
-	Error          string `json:"error,omitempty"`
+	StartedUnixMS  int64 `json:"started_unix_ms"`
+	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
+	// RunningSinceUnixMS is when the cell acquired its worker slot (0 =
+	// never ran); the ETA uses it to credit in-flight cells their elapsed
+	// time.
+	RunningSinceUnixMS int64 `json:"running_since_unix_ms,omitempty"`
+	// Perf is the executed cell's wall-time attribution (decode / step /
+	// store / report, simulated accesses/sec), set at completion.
+	Perf  *telemetry.PhaseBreakdown `json:"perf,omitempty"`
+	Error string                    `json:"error,omitempty"`
 }
 
 // NewRunTable creates a run table for a pool of the given worker capacity.
@@ -77,6 +86,7 @@ func (t *RunTable) Observe(tr runner.Transition) {
 	case runner.PhaseRunning:
 		c.Status = "running"
 		c.QueueWaitMS = tr.QueueWait.Milliseconds()
+		c.RunningSinceUnixMS = nowMS
 	case runner.PhaseDone:
 		src := tr.Source.String()
 		t.sources[src]++
@@ -95,6 +105,10 @@ func (t *RunTable) Observe(tr runner.Transition) {
 		c.QueueWaitMS = tr.QueueWait.Milliseconds()
 		c.ExecMS = tr.ExecTime.Milliseconds()
 		c.FinishedUnixMS = nowMS
+		if tr.Perf != nil {
+			perf := *tr.Perf
+			c.Perf = &perf
+		}
 		if tr.Err == nil && tr.Source == runner.SourceExecuted {
 			t.execSum += tr.ExecTime
 			t.execN++
@@ -120,11 +134,15 @@ type Snapshot struct {
 	// deduplicated followers of cells listed once below.
 	Sources map[string]int `json:"sources"`
 	// MeanExecMS is the mean simulation time of executed cells; ETASeconds
-	// estimates the remaining wall time (mean × remaining cells / workers).
-	// -1 = no estimate yet.
+	// estimates the remaining wall time: queued cells cost the mean,
+	// currently-running cells the mean minus their elapsed time (floored at
+	// zero), summed and divided across the worker pool. -1 = no estimate
+	// yet.
 	MeanExecMS float64 `json:"mean_exec_ms"`
 	ETASeconds float64 `json:"eta_seconds"`
-	Cells      []Cell  `json:"cells"`
+	// Perf is the campaign-level wall-time attribution (AttachPhases).
+	Perf  *telemetry.PhaseBreakdown `json:"perf,omitempty"`
+	Cells []Cell                    `json:"cells"`
 }
 
 // Snapshot returns the current table state, cells in first-seen order.
@@ -154,8 +172,16 @@ func (t *RunTable) Snapshot() Snapshot {
 		}
 	}
 	s.MeanExecMS, s.ETASeconds = t.etaLocked()
+	if t.phases != nil {
+		b := t.phases.Breakdown()
+		s.Perf = &b
+	}
 	return s
 }
+
+// AttachPhases includes the campaign-level wall-time attribution in every
+// /runs snapshot. Call before serving.
+func (t *RunTable) AttachPhases(p *telemetry.Phases) { t.phases = p }
 
 // Progress reports terminal vs known cells and current worker occupancy.
 func (t *RunTable) Progress() (done, total, running int) {
@@ -172,10 +198,14 @@ func (t *RunTable) Progress() (done, total, running int) {
 	return done, len(t.order), running
 }
 
-// ETA estimates the remaining campaign wall time as the completed-cell
-// execution-time mean × remaining cells, divided across the worker pool.
-// ok is false until at least one cell has executed (restored and memoised
-// cells are nearly free and excluded from the mean).
+// ETA estimates the remaining campaign wall time from the completed-cell
+// execution-time mean: a queued cell still costs the full mean, but a
+// currently-running cell only costs the mean minus the time it has already
+// been running (floored at zero — a cell that overshoots the mean is
+// treated as about to finish rather than pushing the estimate up), with the
+// summed remaining work divided across the worker pool. ok is false until
+// at least one cell has executed (restored and memoised cells are nearly
+// free and excluded from the mean).
 func (t *RunTable) ETA() (eta time.Duration, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -191,14 +221,24 @@ func (t *RunTable) etaLocked() (meanMS, etaSeconds float64) {
 		return -1, -1
 	}
 	mean := t.execSum / time.Duration(t.execN)
-	remaining := 0
+	nowMS := t.now().UnixMilli()
+	var remaining time.Duration
 	for _, key := range t.order {
-		switch t.cells[key].Status {
-		case "queued", "running":
-			remaining++
+		c := t.cells[key]
+		switch c.Status {
+		case "queued":
+			remaining += mean
+		case "running":
+			left := mean
+			if c.RunningSinceUnixMS > 0 {
+				left -= time.Duration(nowMS-c.RunningSinceUnixMS) * time.Millisecond
+			}
+			if left > 0 {
+				remaining += left
+			}
 		}
 	}
-	eta := mean * time.Duration(remaining) / time.Duration(t.workers)
+	eta := remaining / time.Duration(t.workers)
 	return float64(mean.Milliseconds()), eta.Seconds()
 }
 

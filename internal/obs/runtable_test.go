@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cosmos/internal/runner"
+	"cosmos/internal/telemetry"
 )
 
 // fakeClock advances one millisecond per reading, so cell timestamps are
@@ -66,6 +67,75 @@ func TestRunTableLifecycle(t *testing.T) {
 	}
 	if cell.StartedUnixMS == 0 || cell.FinishedUnixMS == 0 || cell.FinishedUnixMS <= cell.StartedUnixMS {
 		t.Fatalf("timestamps = %+v", cell)
+	}
+}
+
+// setClock is a clock pinned to an explicit instant (unlike fakeClock it
+// does not advance per reading), for tests that reason about elapsed time.
+type setClock struct{ t time.Time }
+
+func (c *setClock) now() time.Time { return c.t }
+
+// TestRunTableETACreditsRunningCells pins the ETA fix: a cell that has
+// already been running for a while only costs the mean minus its elapsed
+// time, and one that overshot the mean costs nothing — previously every
+// running cell was billed the full mean and the estimate jumped at each
+// worker handoff.
+func TestRunTableETACreditsRunningCells(t *testing.T) {
+	clock := &setClock{t: time.UnixMilli(1_000)}
+	tbl := NewRunTable(1, nil)
+	tbl.now = clock.now
+
+	// One executed cell establishes a 10s mean.
+	tbl.Observe(runner.Transition{Key: "a", Label: "a", Phase: runner.PhaseQueued})
+	tbl.Observe(runner.Transition{Key: "a", Label: "a", Phase: runner.PhaseRunning})
+	tbl.Observe(runner.Transition{Key: "a", Label: "a", Phase: runner.PhaseDone,
+		Source: runner.SourceExecuted, ExecTime: 10 * time.Second})
+
+	// b starts running at t=2s; c stays queued.
+	clock.t = time.UnixMilli(2_000)
+	tbl.Observe(runner.Transition{Key: "b", Label: "b", Phase: runner.PhaseQueued})
+	tbl.Observe(runner.Transition{Key: "b", Label: "b", Phase: runner.PhaseRunning})
+	tbl.Observe(runner.Transition{Key: "c", Label: "c", Phase: runner.PhaseQueued})
+
+	// At t=6s, b has 4s elapsed: remaining = (10−4) + 10 = 16s on 1 worker.
+	clock.t = time.UnixMilli(6_000)
+	if eta, ok := tbl.ETA(); !ok || eta != 16*time.Second {
+		t.Fatalf("eta = %v ok=%v, want 16s", eta, ok)
+	}
+
+	// At t=20s, b overshot the mean: floored at zero, only c counts.
+	clock.t = time.UnixMilli(20_000)
+	if eta, ok := tbl.ETA(); !ok || eta != 10*time.Second {
+		t.Fatalf("eta after overshoot = %v ok=%v, want 10s", eta, ok)
+	}
+
+	snap := tbl.Snapshot()
+	if snap.Cells[1].RunningSinceUnixMS != 2_000 {
+		t.Fatalf("running-since = %v, want 2000", snap.Cells[1].RunningSinceUnixMS)
+	}
+}
+
+// TestRunTablePerfBreakdown checks the campaign Phases attachment and the
+// per-cell Perf attribution survive a snapshot round.
+func TestRunTablePerfBreakdown(t *testing.T) {
+	tbl := newTestTable(1)
+	ph := telemetry.NewPhases()
+	ph.Add(telemetry.PhaseStep, 2*time.Second)
+	ph.AddAccesses(1000)
+	tbl.AttachPhases(ph)
+
+	pb := ph.Breakdown()
+	tbl.Observe(runner.Transition{Key: "a", Label: "a", Phase: runner.PhaseQueued})
+	tbl.Observe(runner.Transition{Key: "a", Label: "a", Phase: runner.PhaseDone,
+		Source: runner.SourceExecuted, ExecTime: time.Second, Perf: &pb})
+
+	s := tbl.Snapshot()
+	if s.Perf == nil || s.Perf.StepMS != 2000 || s.Perf.Accesses != 1000 {
+		t.Fatalf("snapshot perf = %+v", s.Perf)
+	}
+	if s.Cells[0].Perf == nil || s.Cells[0].Perf.StepMS != 2000 {
+		t.Fatalf("cell perf = %+v", s.Cells[0].Perf)
 	}
 }
 

@@ -1,0 +1,208 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"cosmos/internal/stats"
+)
+
+// Verdict is the typed outcome of comparing one metric across two reports.
+type Verdict int
+
+const (
+	// Indistinguishable: the difference is within noise or below the
+	// threshold — the default, and the required answer for identical
+	// machines doing identical work.
+	Indistinguishable Verdict = iota
+	// Improved: statistically significant change in the metric's better
+	// direction, beyond the noise threshold.
+	Improved
+	// Regressed: statistically significant change in the worse direction,
+	// beyond the noise threshold. Any regressed metric fails the ratchet.
+	Regressed
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Improved:
+		return "improved"
+	case Regressed:
+		return "regressed"
+	}
+	return "indistinguishable"
+}
+
+// CompareOpts tunes the comparison.
+type CompareOpts struct {
+	// Alpha is the significance level of the Mann–Whitney test (default
+	// 0.05): differences with p ≥ Alpha are noise regardless of size.
+	Alpha float64
+	// Threshold is the minimum relative median delta (default 0.05 = 5%)
+	// for a significant difference to count: a statistically real but tiny
+	// shift stays indistinguishable. The CI ratchet uses a loose threshold
+	// because baseline and build run on different machines; local ratchets
+	// use a tight one.
+	Threshold float64
+}
+
+func (o CompareOpts) withDefaults() CompareOpts {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.05
+	}
+	return o
+}
+
+// MetricDelta is the per-metric comparison outcome.
+type MetricDelta struct {
+	Name       string  `json:"name"`
+	Unit       string  `json:"unit"`
+	Better     string  `json:"better"`
+	BaseMedian float64 `json:"base_median"`
+	CurMedian  float64 `json:"cur_median"`
+	// RelDelta is (cur−base)/|base|; ±Inf when base is 0 and cur is not.
+	RelDelta float64 `json:"rel_delta"`
+	// P is the two-sided Mann–Whitney p-value of the sample sets.
+	P       float64 `json:"p"`
+	Verdict Verdict `json:"-"`
+	// VerdictName mirrors Verdict for JSON consumers.
+	VerdictName string `json:"verdict"`
+	// Note marks one-sided metrics ("only in baseline"/"only in current");
+	// such rows never carry a verdict other than Indistinguishable.
+	Note string `json:"note,omitempty"`
+}
+
+// Comparison is the full outcome of comparing a current report against a
+// baseline.
+type Comparison struct {
+	Opts            CompareOpts   `json:"opts"`
+	FingerprintDiff []string      `json:"fingerprint_diff,omitempty"`
+	Deltas          []MetricDelta `json:"deltas"`
+}
+
+// CompareMetric compares one metric's samples across two reports.
+func CompareMetric(base, cur Metric, opts CompareOpts) MetricDelta {
+	opts = opts.withDefaults()
+	d := MetricDelta{
+		Name:       base.Name,
+		Unit:       base.Unit,
+		Better:     base.Better,
+		BaseMedian: Median(base.Samples),
+		CurMedian:  Median(cur.Samples),
+	}
+	d.P = MannWhitneyP(base.Samples, cur.Samples)
+	switch {
+	case d.BaseMedian != 0:
+		d.RelDelta = (d.CurMedian - d.BaseMedian) / math.Abs(d.BaseMedian)
+	case d.CurMedian == 0:
+		d.RelDelta = 0
+	case d.CurMedian > 0:
+		d.RelDelta = math.Inf(1)
+	default:
+		d.RelDelta = math.Inf(-1)
+	}
+
+	if d.P < opts.Alpha && math.Abs(d.RelDelta) > opts.Threshold {
+		worse := d.RelDelta > 0
+		if base.Better == BetterHigher {
+			worse = !worse
+		}
+		if worse {
+			d.Verdict = Regressed
+		} else {
+			d.Verdict = Improved
+		}
+	}
+	d.VerdictName = d.Verdict.String()
+	return d
+}
+
+// Compare evaluates every metric of the current report against the
+// baseline. Metrics present on only one side are reported with a note and
+// no verdict (a renamed or new benchmark must not read as a regression).
+func Compare(base, cur *Report, opts CompareOpts) *Comparison {
+	opts = opts.withDefaults()
+	c := &Comparison{
+		Opts:            opts,
+		FingerprintDiff: base.Fingerprint.Diff(cur.Fingerprint),
+	}
+	for _, name := range MetricNames(base, cur) {
+		bm, cm := base.Metric(name), cur.Metric(name)
+		switch {
+		case bm == nil:
+			c.Deltas = append(c.Deltas, MetricDelta{
+				Name: name, Unit: cm.Unit, Better: cm.Better,
+				CurMedian: Median(cm.Samples), P: 1,
+				VerdictName: Indistinguishable.String(), Note: "only in current",
+			})
+		case cm == nil:
+			c.Deltas = append(c.Deltas, MetricDelta{
+				Name: name, Unit: bm.Unit, Better: bm.Better,
+				BaseMedian: Median(bm.Samples), P: 1,
+				VerdictName: Indistinguishable.String(), Note: "only in baseline",
+			})
+		default:
+			c.Deltas = append(c.Deltas, CompareMetric(*bm, *cm, opts))
+		}
+	}
+	return c
+}
+
+// Regressed reports whether any metric regressed — the ratchet's fail bit.
+func (c *Comparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Verdict == Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts tallies verdicts.
+func (c *Comparison) Counts() (improved, regressed, indistinguishable int) {
+	for _, d := range c.Deltas {
+		switch d.Verdict {
+		case Improved:
+			improved++
+		case Regressed:
+			regressed++
+		default:
+			indistinguishable++
+		}
+	}
+	return
+}
+
+// Table renders the human-readable delta table: one row per metric with
+// medians, relative delta, p-value and verdict.
+func (c *Comparison) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("perf delta (alpha %.3g, threshold %.1f%%)", c.Opts.Alpha, 100*c.Opts.Threshold),
+		"metric", "unit", "base median", "cur median", "delta", "p", "verdict")
+	for _, d := range c.Deltas {
+		verdict := d.VerdictName
+		if d.Note != "" {
+			verdict = d.Note
+		}
+		t.Row(d.Name, d.Unit,
+			fmt.Sprintf("%.4g", d.BaseMedian),
+			fmt.Sprintf("%.4g", d.CurMedian),
+			fmtDelta(d.RelDelta),
+			fmt.Sprintf("%.3f", d.P),
+			verdict)
+	}
+	return t
+}
+
+func fmtDelta(rel float64) string {
+	if math.IsInf(rel, 1) {
+		return "+inf"
+	}
+	if math.IsInf(rel, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}

@@ -1,0 +1,123 @@
+// Package perf is the performance-observability harness: a repeatable
+// benchmark suite over the simulator's hot paths (per-design Step ns/op and
+// allocs/op, trace-file decode throughput, end-to-end campaign simulated
+// accesses/sec), a versioned machine-readable report format (BENCH_<n>.json)
+// stamped with an environment fingerprint, and a statistical comparator
+// (median + IQR per metric, Mann–Whitney U significance, configurable noise
+// threshold) that turns two reports into per-metric verdicts — improved,
+// regressed or indistinguishable — so every speed claim in this repo is
+// machine-checked instead of asserted. cmd/cosmos-perf is the CLI; the CI
+// ratchet compares each build against the committed baseline.
+package perf
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Fingerprint records the environment a report was measured on. Comparing
+// reports from different fingerprints is allowed but flagged: wall-clock
+// metrics only transfer between identical machines, so the ratchet policy
+// (DESIGN.md §10) uses a loose threshold across machines and a tight one on
+// the same machine.
+type Fingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel is the "model name" line of /proc/cpuinfo ("" when
+	// unreadable, e.g. non-Linux).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Governor is the cpufreq scaling governor of cpu0 ("" when
+	// unreadable). "performance" means stable clocks; "powersave" and
+	// friends warn that samples may be noisy.
+	Governor string `json:"governor,omitempty"`
+}
+
+// CollectFingerprint reads the current environment. Unreadable fields stay
+// empty rather than failing: the fingerprint is descriptive, not load-
+// bearing.
+func CollectFingerprint() Fingerprint {
+	return Fingerprint{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Governor:   readTrimmed("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"),
+	}
+}
+
+// ID is a short stable hash of the fingerprint, used by the history
+// trajectory to mark machine changes without repeating every field.
+func (f Fingerprint) ID() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%s",
+		f.GoVersion, f.GOOS, f.GOARCH, f.NumCPU, f.GOMAXPROCS, f.CPUModel, f.Governor)))
+	return hex.EncodeToString(h[:6])
+}
+
+// Diff lists the fields where two fingerprints disagree (empty = same
+// environment).
+func (f Fingerprint) Diff(other Fingerprint) []string {
+	var out []string
+	add := func(field, a, b string) {
+		if a != b {
+			out = append(out, fmt.Sprintf("%s: %q vs %q", field, a, b))
+		}
+	}
+	add("go_version", f.GoVersion, other.GoVersion)
+	add("goos", f.GOOS, other.GOOS)
+	add("goarch", f.GOARCH, other.GOARCH)
+	add("num_cpu", fmt.Sprint(f.NumCPU), fmt.Sprint(other.NumCPU))
+	add("gomaxprocs", fmt.Sprint(f.GOMAXPROCS), fmt.Sprint(other.GOMAXPROCS))
+	add("cpu_model", f.CPUModel, other.CPUModel)
+	add("governor", f.Governor, other.Governor)
+	return out
+}
+
+func (f Fingerprint) String() string {
+	cpu := f.CPUModel
+	if cpu == "" {
+		cpu = "unknown cpu"
+	}
+	s := fmt.Sprintf("%s %s/%s, %s, %d cpus (gomaxprocs %d)",
+		f.GoVersion, f.GOOS, f.GOARCH, cpu, f.NumCPU, f.GOMAXPROCS)
+	if f.Governor != "" {
+		s += ", governor " + f.Governor
+	}
+	return s
+}
+
+// cpuModel extracts the first "model name" value from /proc/cpuinfo.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			if strings.TrimSpace(k) == "model name" {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+func readTrimmed(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}

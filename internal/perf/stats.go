@@ -1,0 +1,104 @@
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the sample median (mean of the middle pair for even n, NaN
+// for empty input). The input is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// IQR returns the interquartile range Q3−Q1 (linear interpolation between
+// order statistics, the R-7 / spreadsheet convention). 0 for n < 2.
+func IQR(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, 0.75) - quantileSorted(s, 0.25)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann–Whitney U test on
+// two independent samples, via the normal approximation with tie correction
+// and continuity correction. It answers "could these two sample sets come
+// from the same distribution": small p means a real location shift, p near 1
+// means the difference is indistinguishable from noise. Degenerate inputs
+// (an empty sample, or all values tied) return 1 — never a false positive.
+//
+// The approximation is accurate enough for the suite's regime (n ≥ 4 per
+// side): at n = m = 5, perfect separation yields p ≈ 0.012, matching the
+// exact test's rejection at α = 0.05.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks over tie groups; accumulate the tie-correction term.
+	n := n1 + n2
+	var r1, tieTerm float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // average 1-based rank of the group
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	sigma2 := float64(n1) * float64(n2) / 12 * ((nf + 1) - tieTerm/(nf*(nf-1)))
+	if sigma2 <= 0 {
+		return 1 // every observation tied: no evidence of any difference
+	}
+	z := (math.Abs(u1-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	return math.Erfc(z / math.Sqrt2) // == 2·(1−Φ(z))
+}

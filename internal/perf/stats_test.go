@@ -1,0 +1,231 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if got := Median(nil); !math.IsNaN(got) {
+		t.Fatalf("empty median = %v, want NaN", got)
+	}
+	// Input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestIQR(t *testing.T) {
+	// 1..5: Q1=2, Q3=4 under R-7.
+	if got := IQR([]float64{5, 4, 3, 2, 1}); got != 2 {
+		t.Fatalf("IQR(1..5) = %v, want 2", got)
+	}
+	if got := IQR([]float64{7}); got != 0 {
+		t.Fatalf("IQR(single) = %v, want 0", got)
+	}
+	if got := IQR([]float64{3, 3, 3, 3}); got != 0 {
+		t.Fatalf("IQR(ties) = %v, want 0", got)
+	}
+}
+
+func TestMannWhitneyP(t *testing.T) {
+	// Identical samples: all ranks tied, no evidence.
+	same := []float64{5, 5, 5, 5, 5}
+	if p := MannWhitneyP(same, same); p != 1 {
+		t.Fatalf("identical samples p = %v, want 1", p)
+	}
+	// Perfect separation at n=m=5 must reject at alpha 0.05.
+	lo := []float64{100, 101, 99, 100, 102}
+	hi := []float64{150, 151, 149, 152, 150}
+	if p := MannWhitneyP(lo, hi); p >= 0.05 {
+		t.Fatalf("separated samples p = %v, want < 0.05", p)
+	}
+	// Symmetric in argument order.
+	if p1, p2 := MannWhitneyP(lo, hi), MannWhitneyP(hi, lo); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("asymmetric p: %v vs %v", p1, p2)
+	}
+	// Interleaved noise: high p.
+	a := []float64{10, 12, 11, 13, 10.5}
+	b := []float64{11.5, 10.2, 12.5, 10.8, 12.1}
+	if p := MannWhitneyP(a, b); p < 0.3 {
+		t.Fatalf("interleaved noise p = %v, want well above alpha", p)
+	}
+	// Degenerate inputs.
+	if p := MannWhitneyP(nil, hi); p != 1 {
+		t.Fatalf("empty side p = %v, want 1", p)
+	}
+}
+
+func deltaFor(t *testing.T, base, cur []float64, better string, opts CompareOpts) MetricDelta {
+	t.Helper()
+	bm := Metric{Name: "m", Unit: "ns/op", Better: better, Samples: base}
+	cm := Metric{Name: "m", Unit: "ns/op", Better: better, Samples: cur}
+	return CompareMetric(bm, cm, opts)
+}
+
+func TestCompareMetricGoldenRegression(t *testing.T) {
+	// ~50% slowdown with tight samples: unambiguous regression.
+	d := deltaFor(t,
+		[]float64{100, 101, 99, 100, 102},
+		[]float64{150, 151, 149, 152, 150},
+		BetterLower, CompareOpts{})
+	if d.Verdict != Regressed {
+		t.Fatalf("verdict = %v (p=%v rel=%v), want regressed", d.Verdict, d.P, d.RelDelta)
+	}
+	if d.RelDelta < 0.4 || d.RelDelta > 0.6 {
+		t.Fatalf("rel delta = %v, want ~0.5", d.RelDelta)
+	}
+}
+
+func TestCompareMetricGoldenImprovement(t *testing.T) {
+	d := deltaFor(t,
+		[]float64{150, 151, 149, 152, 150},
+		[]float64{100, 101, 99, 100, 102},
+		BetterLower, CompareOpts{})
+	if d.Verdict != Improved {
+		t.Fatalf("verdict = %v, want improved", d.Verdict)
+	}
+}
+
+func TestCompareMetricPureNoise(t *testing.T) {
+	// Overlapping samples from the same distribution MUST stay
+	// indistinguishable — a ratchet that fails on noise is worse than none.
+	d := deltaFor(t,
+		[]float64{10, 12, 11, 13, 10.5},
+		[]float64{11.5, 10.2, 12.5, 10.8, 12.1},
+		BetterLower, CompareOpts{})
+	if d.Verdict != Indistinguishable {
+		t.Fatalf("noise verdict = %v (p=%v rel=%v), want indistinguishable", d.Verdict, d.P, d.RelDelta)
+	}
+}
+
+func TestCompareMetricSubThresholdDrift(t *testing.T) {
+	// Statistically real but only 2%: below the 5% noise threshold, so no
+	// verdict.
+	d := deltaFor(t,
+		[]float64{100, 100.1, 99.9, 100, 100.05},
+		[]float64{102, 102.1, 101.9, 102, 102.05},
+		BetterLower, CompareOpts{})
+	if d.P >= 0.05 {
+		t.Fatalf("drift should be significant, p = %v", d.P)
+	}
+	if d.Verdict != Indistinguishable {
+		t.Fatalf("sub-threshold verdict = %v, want indistinguishable", d.Verdict)
+	}
+	// Tightening the threshold below the drift flips it to regressed.
+	d = deltaFor(t,
+		[]float64{100, 100.1, 99.9, 100, 100.05},
+		[]float64{102, 102.1, 101.9, 102, 102.05},
+		BetterLower, CompareOpts{Threshold: 0.01})
+	if d.Verdict != Regressed {
+		t.Fatalf("tight-threshold verdict = %v, want regressed", d.Verdict)
+	}
+}
+
+func TestCompareMetricHigherBetter(t *testing.T) {
+	// Throughput dropping by half is a regression even though the number
+	// went down.
+	d := deltaFor(t,
+		[]float64{1000, 1010, 990, 1000, 1020},
+		[]float64{500, 510, 490, 500, 520},
+		BetterHigher, CompareOpts{})
+	if d.Verdict != Regressed {
+		t.Fatalf("throughput drop verdict = %v, want regressed", d.Verdict)
+	}
+	d = deltaFor(t,
+		[]float64{500, 510, 490, 500, 520},
+		[]float64{1000, 1010, 990, 1000, 1020},
+		BetterHigher, CompareOpts{})
+	if d.Verdict != Improved {
+		t.Fatalf("throughput rise verdict = %v, want improved", d.Verdict)
+	}
+}
+
+func TestCompareMetricZeroBaseline(t *testing.T) {
+	// 0 → 0 allocs: fine.
+	d := deltaFor(t,
+		[]float64{0, 0, 0, 0, 0},
+		[]float64{0, 0, 0, 0, 0},
+		BetterLower, CompareOpts{})
+	if d.Verdict != Indistinguishable {
+		t.Fatalf("0→0 verdict = %v, want indistinguishable", d.Verdict)
+	}
+	// 0 → 1 alloc/op: the delta is infinite and must regress — this is the
+	// "Step started allocating" tripwire.
+	d = deltaFor(t,
+		[]float64{0, 0, 0, 0, 0},
+		[]float64{1, 1, 1, 1, 1},
+		BetterLower, CompareOpts{})
+	if !math.IsInf(d.RelDelta, 1) {
+		t.Fatalf("0→1 rel delta = %v, want +Inf", d.RelDelta)
+	}
+	if d.Verdict != Regressed {
+		t.Fatalf("0→1 verdict = %v, want regressed", d.Verdict)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &Report{Schema: SchemaVersion, Metrics: []Metric{
+		{Name: "a.ns", Unit: "ns/op", Better: BetterLower, Samples: []float64{100, 101, 99, 100, 102}},
+		{Name: "gone", Unit: "ns/op", Better: BetterLower, Samples: []float64{5, 5, 5, 5, 5}},
+	}}
+	cur := &Report{Schema: SchemaVersion, Metrics: []Metric{
+		{Name: "a.ns", Unit: "ns/op", Better: BetterLower, Samples: []float64{150, 151, 149, 152, 150}},
+		{Name: "new", Unit: "ns/op", Better: BetterLower, Samples: []float64{7, 7, 7, 7, 7}},
+	}}
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Regressed() {
+		t.Fatal("comparison should report a regression")
+	}
+	improved, regressed, indist := c.Counts()
+	if improved != 0 || regressed != 1 || indist != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 0/1/2", improved, regressed, indist)
+	}
+	// One-sided metrics carry notes, never verdicts.
+	for _, d := range c.Deltas {
+		if (d.Name == "gone" || d.Name == "new") && (d.Verdict != Indistinguishable || d.Note == "") {
+			t.Fatalf("one-sided metric %s: verdict=%v note=%q", d.Name, d.Verdict, d.Note)
+		}
+	}
+	if c.Table().String() == "" {
+		t.Fatal("delta table rendered empty")
+	}
+}
+
+func TestRatchetSelfTest(t *testing.T) {
+	// The handicap trick the CLI uses: doubling every timing sample of a
+	// clean report must trip the ratchet; comparing a report against itself
+	// must not.
+	base := &Report{Schema: SchemaVersion, Metrics: []Metric{
+		{Name: "step.ns", Unit: "ns/op", Better: BetterLower, Samples: []float64{200, 203, 199, 201, 202}},
+		{Name: "decode.rate", Unit: "accesses/sec", Better: BetterHigher, Samples: []float64{9e6, 9.1e6, 8.9e6, 9.05e6, 9.02e6}},
+	}}
+	if Compare(base, base, CompareOpts{}).Regressed() {
+		t.Fatal("self-comparison regressed")
+	}
+	slow := &Report{Schema: SchemaVersion}
+	for _, m := range base.Metrics {
+		hm := m
+		hm.Samples = nil
+		for _, v := range m.Samples {
+			hm.Samples = append(hm.Samples, applyHandicap(v, m.Unit, 2))
+		}
+		slow.Metrics = append(slow.Metrics, hm)
+	}
+	c := Compare(base, slow, CompareOpts{})
+	if !c.Regressed() {
+		t.Fatal("2x handicap did not trip the ratchet")
+	}
+	_, regressed, _ := c.Counts()
+	if regressed != 2 {
+		t.Fatalf("handicap regressed %d metrics, want 2", regressed)
+	}
+}

@@ -89,7 +89,11 @@ type Event struct {
 	// simulation wall time. Both are zero unless Source is SourceExecuted.
 	QueueWait time.Duration
 	ExecTime  time.Duration
-	Err       error
+	// Perf is the run's wall-time attribution (decode / step / store /
+	// report plus simulated accesses/sec). Non-nil only for executed runs
+	// of an orchestrator with Phases attached.
+	Perf *telemetry.PhaseBreakdown
+	Err  error
 }
 
 // Phase is one stage of a run request's lifecycle, reported through the
@@ -129,7 +133,10 @@ type Transition struct {
 	Source    Source
 	QueueWait time.Duration
 	ExecTime  time.Duration
-	Err       error
+	// Perf is the executed run's wall-time attribution at PhaseDone (see
+	// Event.Perf); nil otherwise.
+	Perf *telemetry.PhaseBreakdown
+	Err  error
 }
 
 // Stats is a snapshot of the orchestrator's run accounting.
@@ -173,6 +180,14 @@ type Orchestrator struct {
 	// a bare done for memoised/restored/deduplicated results. It may be
 	// called concurrently; nil costs one branch per transition.
 	Lifecycle func(Transition)
+
+	// Phases, when non-nil, accumulates campaign-level wall-time
+	// attribution: every executed simulation runs the attributed loop
+	// (decode/step/report, see sim.System.AttachPhases) and store I/O is
+	// timed, all folded into this shared accumulator. Each executed run's
+	// own breakdown additionally rides on its PhaseDone Transition and
+	// Event. Nil keeps runs on the untimed loop.
+	Phases *telemetry.Phases
 
 	workers int
 
@@ -318,7 +333,7 @@ func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) 
 
 	ev.Key, ev.Label, ev.Err = key, label, err
 	o.transition(Transition{Key: key, Label: label, Phase: PhaseDone,
-		Source: ev.Source, QueueWait: ev.QueueWait, ExecTime: ev.ExecTime, Err: err})
+		Source: ev.Source, QueueWait: ev.QueueWait, ExecTime: ev.ExecTime, Perf: ev.Perf, Err: err})
 	if err != nil {
 		slog.Debug("run failed", "label", label, "source", ev.Source.String(), "err", err)
 		o.fail(ev)
@@ -362,7 +377,12 @@ func (o *Orchestrator) RunAll(ctx context.Context, specs []Spec) error {
 // simulation, store write-back.
 func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec) (sim.Results, Event, error) {
 	if o.store != nil {
-		if r, ok := o.store.Get(key); ok {
+		lookup := time.Now()
+		r, ok := o.store.Get(key)
+		if o.Phases != nil {
+			o.Phases.Add(telemetry.PhaseStore, time.Since(lookup))
+		}
+		if ok {
 			o.mu.Lock()
 			o.stats.Restored++
 			o.mu.Unlock()
@@ -381,11 +401,14 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 	o.transition(Transition{Key: key, Label: label, Phase: PhaseRunning, QueueWait: queueWait})
 
 	started := time.Now()
-	res, err := o.simulate(ctx, label, spec)
+	res, ph, err := o.simulate(ctx, label, spec)
 	execTime := time.Since(started)
 
 	ev := Event{Source: SourceExecuted, QueueWait: queueWait, ExecTime: execTime}
 	if err != nil {
+		if ph != nil {
+			o.Phases.Merge(ph)
+		}
 		return sim.Results{}, ev, err
 	}
 	o.mu.Lock()
@@ -394,10 +417,21 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 	o.stats.ExecTime += execTime
 	o.mu.Unlock()
 
+	var putErr error
 	if o.store != nil {
-		if err := o.store.Put(key, spec, res); err != nil {
-			return sim.Results{}, ev, fmt.Errorf("runner: persist run %s: %w", label, err)
+		put := time.Now()
+		putErr = o.store.Put(key, spec, res)
+		if ph != nil {
+			ph.Add(telemetry.PhaseStore, time.Since(put))
 		}
+	}
+	if ph != nil {
+		o.Phases.Merge(ph)
+		b := ph.Breakdown()
+		ev.Perf = &b
+	}
+	if putErr != nil {
+		return sim.Results{}, ev, fmt.Errorf("runner: persist run %s: %w", label, putErr)
 	}
 	return res, ev, nil
 }
@@ -405,7 +439,7 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 // simulate builds and runs one simulation with panic recovery: a panicking
 // workload or model component fails this cell with a *PanicError instead of
 // killing the process.
-func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (res sim.Results, err error) {
+func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (res sim.Results, ph *telemetry.Phases, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Label: label, Value: p, Stack: debug.Stack()}
@@ -413,20 +447,33 @@ func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (r
 	}()
 
 	if err := spec.Validate(); err != nil {
-		return sim.Results{}, err
+		return sim.Results{}, nil, err
 	}
 
+	var decodeStart time.Time
+	if o.Phases != nil {
+		ph = telemetry.NewPhases()
+		decodeStart = time.Now()
+	}
 	gen, err := workloads.Build(spec.Workload, workloads.Options{
 		Threads:     spec.Cores,
 		Seed:        spec.Seed,
 		GraphNodes:  spec.GraphNodes,
 		GraphDegree: spec.GraphDegree,
 	})
+	if ph != nil {
+		// Workload construction (graph building, footprint layout) counts
+		// as decode: it is the cost of producing the access stream.
+		ph.Add(telemetry.PhaseDecode, time.Since(decodeStart))
+	}
 	if err != nil {
-		return sim.Results{}, fmt.Errorf("runner: build workload for %s: %w", label, err)
+		return sim.Results{}, ph, fmt.Errorf("runner: build workload for %s: %w", label, err)
 	}
 
 	s := sim.New(spec.config(), spec.Design)
+	if ph != nil {
+		s.AttachPhases(ph)
+	}
 	if o.Instrument != nil {
 		if cleanup := o.Instrument(label, s); cleanup != nil {
 			defer cleanup()
@@ -434,9 +481,9 @@ func (o *Orchestrator) simulate(ctx context.Context, label string, spec Spec) (r
 	}
 	res, err = s.RunContext(ctx, trace.Limit(gen, spec.Accesses), spec.Accesses)
 	if err != nil {
-		return sim.Results{}, fmt.Errorf("runner: run %s: %w", label, err)
+		return sim.Results{}, ph, fmt.Errorf("runner: run %s: %w", label, err)
 	}
-	return res, nil
+	return res, ph, nil
 }
 
 func (o *Orchestrator) notify(ev Event) {

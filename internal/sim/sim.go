@@ -10,6 +10,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cosmos/internal/cache"
 	"cosmos/internal/core"
@@ -201,6 +202,7 @@ type System struct {
 	sampler   *telemetry.Sampler
 	tracer    *telemetry.Tracer
 	fetchHist *telemetry.Histogram
+	phases    *telemetry.Phases
 
 	// faults, when non-nil, is the attached fault plane (also wired into
 	// the memory controller engine).
@@ -346,6 +348,23 @@ func (s *System) AttachTracer(tr *telemetry.Tracer) {
 		tr.SetThreadName(c, tidData, "data")
 	}
 }
+
+// AttachPhases enables wall-time attribution during RunContext: decode
+// (generator Next), step (the simulator loop) and report (sampler flush +
+// Results assembly) wall time plus a simulated-access count accumulate into
+// p, which may be shared across systems (campaign-level attribution). The
+// instrumented loop decodes accesses in blocks of phaseBlock and times each
+// block once per phase, so the access order, the Results and the per-step
+// semantics are identical to the unattributed loop while the timing
+// overhead stays at two clock reads per block. Nil (the default) keeps
+// RunContext on the untimed loop.
+func (s *System) AttachPhases(p *telemetry.Phases) { s.phases = p }
+
+// phaseBlock is the decode-ahead block size of the attributed run loop.
+// Workload generators are pure streams (they never observe simulator
+// state), so decoding up to a block ahead of the step loop cannot change
+// the access sequence.
+const phaseBlock = 256
 
 // Trace track ids within one core's lane: the critical-path envelope plus
 // the three racing chains of an off-chip access.
@@ -524,6 +543,9 @@ const CancelCheckEvery = 4096
 // (or otherwise non-cancellable) context costs nothing: its nil Done
 // channel skips the poll entirely.
 func (s *System) RunContext(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
+	if s.phases != nil {
+		return s.runAttributed(ctx, gen, maxAccesses)
+	}
 	defer trace.CloseIfCloser(gen)
 	done := ctx.Done()
 	var steps uint64
@@ -552,6 +574,68 @@ func (s *System) RunContext(ctx context.Context, gen trace.Generator, maxAccesse
 		s.sampler.Flush(s.accesses)
 	}
 	return s.Results(gen.Name()), nil
+}
+
+// runAttributed is RunContext with a phase accumulator attached: accesses
+// are decoded a block at a time and stepped a block at a time, with one
+// clock read per phase transition, so decode wall time and step wall time
+// book separately. Stepping order, sampling cadence and cancellation
+// semantics match the untimed loop (cancellation is checked per block,
+// phaseBlock < CancelCheckEvery).
+func (s *System) runAttributed(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
+	defer trace.CloseIfCloser(gen)
+	done := ctx.Done()
+	var buf [phaseBlock]memsys.Access
+	for s.accesses < maxAccesses {
+		want := maxAccesses - s.accesses
+		if want > phaseBlock {
+			want = phaseBlock
+		}
+		t0 := time.Now()
+		n := 0
+		for uint64(n) < want {
+			a, ok := gen.Next()
+			if !ok {
+				break
+			}
+			buf[n] = a
+			n++
+		}
+		t1 := time.Now()
+		for i := 0; i < n; i++ {
+			s.Step(buf[i])
+			if s.sampler != nil {
+				s.sampler.MaybeSample(s.accesses)
+			}
+		}
+		t2 := time.Now()
+		s.phases.Add(telemetry.PhaseDecode, t1.Sub(t0))
+		s.phases.Add(telemetry.PhaseStep, t2.Sub(t1))
+		s.phases.AddAccesses(uint64(n))
+		if n == 0 {
+			break
+		}
+		if done != nil {
+			select {
+			case <-done:
+				t0 := time.Now()
+				if s.sampler != nil {
+					s.sampler.Flush(s.accesses)
+				}
+				res := s.Results(gen.Name())
+				s.phases.Add(telemetry.PhaseReport, time.Since(t0))
+				return res, ctx.Err()
+			default:
+			}
+		}
+	}
+	t0 := time.Now()
+	if s.sampler != nil {
+		s.sampler.Flush(s.accesses)
+	}
+	res := s.Results(gen.Name())
+	s.phases.Add(telemetry.PhaseReport, time.Since(t0))
+	return res, nil
 }
 
 // Results snapshots every metric the experiment harness consumes.

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PhaseID enumerates the wall-time phases a simulation run decomposes into.
+// The attribution question they answer is "where did the real time of this
+// run (or campaign) go": decoding the access stream, stepping the simulator,
+// result-store I/O, or assembling the report.
+type PhaseID int
+
+const (
+	// PhaseDecode: producing the access stream (workload generators, trace
+	// file decode).
+	PhaseDecode PhaseID = iota
+	// PhaseStep: the simulator step loop itself.
+	PhaseStep
+	// PhaseStore: persistent result-store reads and writes.
+	PhaseStore
+	// PhaseReport: sampler flush, Results assembly and encoding.
+	PhaseReport
+	// NumPhases is the number of phases (array sizing).
+	NumPhases
+)
+
+func (p PhaseID) String() string {
+	switch p {
+	case PhaseDecode:
+		return "decode"
+	case PhaseStep:
+		return "step"
+	case PhaseStore:
+		return "store"
+	case PhaseReport:
+		return "report"
+	}
+	return "unknown"
+}
+
+// Phases accumulates per-phase wall time and a simulated-access count for
+// one run or one whole campaign. All methods are safe for concurrent use
+// (atomic adds), so one campaign-level instance can be fed by every worker
+// of a parallel sweep. The live accesses/sec rate is measured against wall
+// time since construction.
+type Phases struct {
+	start    time.Time
+	ns       [NumPhases]atomic.Int64
+	accesses atomic.Uint64
+}
+
+// NewPhases creates a phase accumulator; its rate clock starts now.
+func NewPhases() *Phases {
+	return &Phases{start: time.Now()}
+}
+
+// Add books wall time against one phase.
+func (p *Phases) Add(id PhaseID, d time.Duration) {
+	if d > 0 {
+		p.ns[id].Add(int64(d))
+	}
+}
+
+// AddAccesses books n simulated accesses.
+func (p *Phases) AddAccesses(n uint64) { p.accesses.Add(n) }
+
+// Merge folds a child accumulator (one run) into this one (the campaign).
+func (p *Phases) Merge(child *Phases) {
+	for i := PhaseID(0); i < NumPhases; i++ {
+		p.ns[i].Add(child.ns[i].Load())
+	}
+	p.accesses.Add(child.accesses.Load())
+}
+
+// Seconds returns the wall time booked against one phase.
+func (p *Phases) Seconds(id PhaseID) float64 {
+	return time.Duration(p.ns[id].Load()).Seconds()
+}
+
+// Accesses returns the simulated accesses booked so far.
+func (p *Phases) Accesses() uint64 { return p.accesses.Load() }
+
+// Wall returns the wall time since construction.
+func (p *Phases) Wall() time.Duration { return time.Since(p.start) }
+
+// Rate returns the live simulated-accesses/sec rate: accesses booked so far
+// over wall time since construction. Zero until the first access.
+func (p *Phases) Rate() float64 {
+	w := p.Wall().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(p.accesses.Load()) / w
+}
+
+// PhaseBreakdown is the JSON snapshot of a Phases accumulator, embedded in
+// /runs cells, run transitions and CLI -json summaries.
+type PhaseBreakdown struct {
+	DecodeMS       float64 `json:"decode_ms"`
+	StepMS         float64 `json:"step_ms"`
+	StoreMS        float64 `json:"store_ms"`
+	ReportMS       float64 `json:"report_ms"`
+	Accesses       uint64  `json:"simulated_accesses"`
+	WallMS         float64 `json:"wall_ms"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+}
+
+// Breakdown snapshots the accumulator.
+func (p *Phases) Breakdown() PhaseBreakdown {
+	ms := func(id PhaseID) float64 {
+		return float64(p.ns[id].Load()) / float64(time.Millisecond)
+	}
+	return PhaseBreakdown{
+		DecodeMS:       ms(PhaseDecode),
+		StepMS:         ms(PhaseStep),
+		StoreMS:        ms(PhaseStore),
+		ReportMS:       ms(PhaseReport),
+		Accesses:       p.accesses.Load(),
+		WallMS:         float64(p.Wall()) / float64(time.Millisecond),
+		AccessesPerSec: p.Rate(),
+	}
+}
+
+// RegisterMetrics exposes the accumulator under scope (conventionally
+// root.Scope("perf"), so the Prometheus bridge emits cosmos_perf_* families):
+// per-phase seconds gauges, the simulated-access counter and the live
+// accesses/sec rate.
+func (p *Phases) RegisterMetrics(s *Scope) {
+	for i := PhaseID(0); i < NumPhases; i++ {
+		i := i
+		s.Gauge(i.String()+"_seconds", func() float64 { return p.Seconds(i) })
+	}
+	s.CounterFunc("simulated_accesses", p.Accesses)
+	s.Gauge("accesses_per_sec", p.Rate)
+}

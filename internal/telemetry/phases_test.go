@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhasesAccumulateAndBreakdown(t *testing.T) {
+	p := NewPhases()
+	p.Add(PhaseDecode, 100*time.Millisecond)
+	p.Add(PhaseStep, 2*time.Second)
+	p.Add(PhaseStep, 500*time.Millisecond)
+	p.Add(PhaseReport, -time.Second) // negative durations are dropped
+	p.AddAccesses(1_000)
+
+	if got := p.Seconds(PhaseStep); got != 2.5 {
+		t.Fatalf("step seconds = %v, want 2.5", got)
+	}
+	if got := p.Seconds(PhaseReport); got != 0 {
+		t.Fatalf("negative add booked time: %v", got)
+	}
+	b := p.Breakdown()
+	if b.DecodeMS != 100 || b.StepMS != 2500 || b.StoreMS != 0 || b.Accesses != 1_000 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.WallMS < 0 || b.AccessesPerSec <= 0 {
+		t.Fatalf("wall/rate = %+v", b)
+	}
+}
+
+func TestPhasesMerge(t *testing.T) {
+	campaign := NewPhases()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child := NewPhases()
+			child.Add(PhaseStep, time.Second)
+			child.Add(PhaseStore, time.Millisecond)
+			child.AddAccesses(100)
+			campaign.Merge(child)
+		}()
+	}
+	wg.Wait()
+	if got := campaign.Seconds(PhaseStep); got != 8 {
+		t.Fatalf("merged step seconds = %v, want 8", got)
+	}
+	if got := campaign.Accesses(); got != 800 {
+		t.Fatalf("merged accesses = %v, want 800", got)
+	}
+}
+
+func TestPhasesRegisterMetrics(t *testing.T) {
+	p := NewPhases()
+	p.Add(PhaseDecode, time.Second)
+	p.AddAccesses(42)
+
+	reg := NewRegistry()
+	p.RegisterMetrics(reg.Root().Scope("perf"))
+	byName := map[string]Sample{}
+	for _, s := range reg.Snapshot() {
+		byName[s.Name] = s
+	}
+	want := map[string]float64{
+		"perf.decode_seconds":     1,
+		"perf.step_seconds":       0,
+		"perf.store_seconds":      0,
+		"perf.report_seconds":     0,
+		"perf.simulated_accesses": 42,
+	}
+	for name, v := range want {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("metric %s missing from snapshot", name)
+		}
+		if got := s.Value(); got != v {
+			t.Fatalf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if _, ok := byName["perf.accesses_per_sec"]; !ok {
+		t.Fatal("rate gauge missing")
+	}
+}
+
+func TestPhaseIDString(t *testing.T) {
+	names := map[PhaseID]string{
+		PhaseDecode: "decode", PhaseStep: "step",
+		PhaseStore: "store", PhaseReport: "report",
+		NumPhases: "unknown",
+	}
+	for id, want := range names {
+		if id.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", id, id.String(), want)
+		}
+	}
+}
