@@ -26,15 +26,13 @@ import (
 	"io"
 	"log/slog"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"syscall"
 	"time"
 
+	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/experiments"
-	"cosmos/internal/fault"
 	"cosmos/internal/obs"
 	"cosmos/internal/runner"
 	"cosmos/internal/sim"
@@ -55,17 +53,11 @@ func run() int {
 		out     = flag.String("out", "", "also write each experiment as <out>/<id>.csv")
 		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
-		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
 
-		faultRate   = flag.Float64("fault-rate", 0, "per-fetch fault probability applied to every simulation (0 = off)")
-		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the fault stream")
-		faultKinds  = flag.String("fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt)")
-		crashAt     = flag.Uint64("crash-at", 0, "crash each simulation's memory controller before this access number (0 = never)")
-		crashDropRL = flag.Bool("crash-drop-rl", false, "the crash also loses the RL predictor tables")
-
-		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		timeout  = cliflags.RegisterTimeout(flag.CommandLine)
+		faults   = cliflags.RegisterFault(flag.CommandLine)
+		obsFlags = cliflags.RegisterObs(flag.CommandLine)
+		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -76,7 +68,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	logger, err := obs.SetupLogger("cosmos-bench", *logFormat, *logLevel)
+	logger, err := obsFlags.Logger("cosmos-bench")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-bench:", err)
 		return 1
@@ -93,13 +85,8 @@ func run() int {
 	// simulations stop within sim.CancelCheckEvery steps, completed cells
 	// stay persisted, and the summary below still prints. A second signal
 	// kills the process the usual way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -126,7 +113,7 @@ func run() int {
 	// /runs endpoint when the plane is listening; the broker exists only
 	// with -listen (a nil broker publishes nothing).
 	var broker *obs.Broker
-	if *listen != "" {
+	if obsFlags.Listen != "" {
 		broker = obs.NewBroker()
 	}
 	table := obs.NewRunTable(*par, broker)
@@ -167,17 +154,15 @@ func run() int {
 			logger.Info("progress", args...)
 		}),
 	}
-	var faultCfg *fault.Config
-	if *faultRate > 0 || *crashAt > 0 {
-		faultCfg = &fault.Config{
-			Seed: *faultSeed, Rate: *faultRate, Kinds: *faultKinds,
-			CrashAt: *crashAt, CrashDropRL: *crashDropRL,
-		}
+	if faultCfg := faults.Config(); faultCfg != nil {
 		if err := faultCfg.Validate(); err != nil {
 			logger.Error("fault config", "err", err)
 			return 1
 		}
 		lopts = append(lopts, experiments.WithFaults(faultCfg))
+	}
+	if *parCores > 1 {
+		lopts = append(lopts, experiments.WithParallelCores(*parCores))
 	}
 	var store *runner.Store
 	if *results != "" {
@@ -195,7 +180,7 @@ func run() int {
 	lab.Orchestrator().Phases = phases
 	lab.Instrument = instrumentHook(logger, *statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit, broker)
 
-	if *listen != "" {
+	if obsFlags.Listen != "" {
 		reg := telemetry.NewRegistry()
 		lab.Orchestrator().RegisterMetrics(reg.Root())
 		phases.RegisterMetrics(reg.Root().Scope("perf"))
@@ -206,7 +191,7 @@ func run() int {
 			Events:    broker,
 			Logger:    logger,
 		})
-		if err := srv.Start(*listen); err != nil {
+		if err := srv.Start(obsFlags.Listen); err != nil {
 			logger.Error("observability plane", "err", err)
 			return 1
 		}

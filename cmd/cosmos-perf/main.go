@@ -17,14 +17,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/perf"
 	"cosmos/internal/stats"
 )
@@ -39,7 +37,8 @@ func main() {
 		e2eScale  = flag.Float64("e2e-scale", 0, "experiment scale factor for the e2e benchmark (0 = smallest)")
 		workers   = flag.Int("workers", 0, "campaign workers for the e2e benchmark (0 = GOMAXPROCS)")
 		handicap  = flag.Float64("handicap", 0, "self-test knob: artificially slow every measurement by this factor (2 must fail a clean ratchet)")
-		timeout   = flag.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
+		timeout   = cliflags.RegisterTimeout(flag.CommandLine)
+		parCores  = cliflags.RegisterParallelCores(flag.CommandLine)
 
 		out     = flag.String("out", "", "write the measured report to this file (BENCH_<n>.json)")
 		seq     = flag.Int("seq", 0, "sequence number stamped into the report (the <n> of BENCH_<n>.json)")
@@ -73,13 +72,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, stopSignals := cliflags.SignalContext(*timeout)
+	defer stopSignals()
 
 	cfg := perf.DefaultConfig()
 	if *quick {
@@ -97,6 +91,7 @@ func main() {
 	cfg.E2E = *e2e
 	cfg.E2EScale = *e2eScale
 	cfg.Workers = *workers
+	cfg.ParallelCores = *parCores
 	cfg.Handicap = *handicap
 	cfg.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cosmos-perf: "+format+"\n", args...)

@@ -21,13 +21,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 	"time"
 
-	"cosmos/internal/fault"
+	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/obs"
 	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
@@ -52,17 +50,11 @@ func main() {
 		ctrBytes  = flag.Int("ctr-cache", 0, "CTR cache bytes per core (0 = Table 3 default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
-		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 
-		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
-
-		faultRate   = flag.Float64("fault-rate", 0, "per-fetch fault probability for the deterministic fault plane (0 = off)")
-		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the fault stream (same seed = same faults, every design)")
-		faultKinds  = flag.String("fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt; empty = all at -fault-rate)")
-		crashAt     = flag.Uint64("crash-at", 0, "crash the memory controller before this access number and replay recovery (0 = never)")
-		crashDropRL = flag.Bool("crash-drop-rl", false, "the crash also loses the RL predictor tables")
+		timeout  = cliflags.RegisterTimeout(flag.CommandLine)
+		obsFlags = cliflags.RegisterObs(flag.CommandLine)
+		faults   = cliflags.RegisterFault(flag.CommandLine)
+		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -72,7 +64,7 @@ func main() {
 	)
 	flag.Parse()
 
-	logger, err := obs.SetupLogger("cosmos-sim", *logFormat, *logLevel)
+	logger, err := obsFlags.Logger("cosmos-sim")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-sim:", err)
 		os.Exit(1)
@@ -85,13 +77,8 @@ func main() {
 	// SIGINT/SIGTERM (or -timeout) stop the simulation within
 	// sim.CancelCheckEvery steps; the metrics accumulated so far still
 	// print, flagged as partial.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := cliflags.SignalContext(*timeout)
 	defer stopSignals()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	d, err := secmem.DesignByName(*design)
 	if err != nil {
@@ -109,12 +96,7 @@ func main() {
 	}
 	cfg.MC.Seed = *seed
 	cfg.MC.Params.Seed = *seed
-	if *faultRate > 0 || *crashAt > 0 {
-		cfg.Fault = &fault.Config{
-			Seed: *faultSeed, Rate: *faultRate, Kinds: *faultKinds,
-			CrashAt: *crashAt, CrashDropRL: *crashDropRL,
-		}
-	}
+	cfg.Fault = faults.Config()
 	if err := cfg.Validate(); err != nil {
 		die("validate config", err)
 	}
@@ -127,6 +109,7 @@ func main() {
 	}
 
 	s := sim.New(cfg, d)
+	s.SetParallelCores(*parCores)
 	label := *workload + "_" + d.Name
 
 	// Phase attribution is always on: the attributed run loop costs ~two
@@ -137,7 +120,7 @@ func main() {
 
 	var broker *obs.Broker
 	var table *obs.RunTable
-	if *listen != "" {
+	if obsFlags.Listen != "" {
 		broker = obs.NewBroker()
 		table = obs.NewRunTable(1, broker)
 		if in := s.Faults(); in != nil {
@@ -145,7 +128,7 @@ func main() {
 		}
 	}
 
-	if *statsOut != "" || *traceOut != "" || *listen != "" {
+	if *statsOut != "" || *traceOut != "" || obsFlags.Listen != "" {
 		reg := telemetry.NewRegistry()
 		s.RegisterMetrics(reg.Root())
 		phases.RegisterMetrics(reg.Root().Scope("perf"))
@@ -199,7 +182,7 @@ func main() {
 				}
 			}()
 		}
-		if *listen != "" {
+		if obsFlags.Listen != "" {
 			srv := obs.NewServer(obs.Config{
 				Component: "cosmos-sim",
 				Registry:  reg,
@@ -207,7 +190,7 @@ func main() {
 				Events:    broker,
 				Logger:    logger,
 			})
-			if err := srv.Start(*listen); err != nil {
+			if err := srv.Start(obsFlags.Listen); err != nil {
 				die("observability plane", err)
 			}
 			logger.Info("observability plane listening", "addr", srv.URL())

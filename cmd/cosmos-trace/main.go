@@ -11,12 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 	"time"
 
+	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/memsys"
 	"cosmos/internal/obs"
 	"cosmos/internal/stats"
@@ -35,13 +34,11 @@ func main() {
 		dump     = flag.Uint64("dump", 0, "print the first N raw accesses")
 		export   = flag.String("export", "", "write the sampled accesses to a trace file (.trc or .trc.gz) instead of profiling")
 
-		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		obsFlags = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
 
-	logger, err := obs.SetupLogger("cosmos-trace", *logFormat, *logLevel)
+	logger, err := obsFlags.Logger("cosmos-trace")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-trace:", err)
 		os.Exit(1)
@@ -56,7 +53,7 @@ func main() {
 
 	// SIGINT/SIGTERM stop the sampling loop; the profile of the accesses
 	// gathered so far still prints.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := cliflags.SignalContext(0)
 	defer stopSignals()
 	done := ctx.Done()
 
@@ -72,7 +69,7 @@ func main() {
 		reads, writes uint64
 	)
 
-	if *listen != "" {
+	if obsFlags.Listen != "" {
 		// The profiler's registry: live progress of the sampling loop. The
 		// loop is single-writer; scrapes read the counters torn-read
 		// tolerantly (see DESIGN.md §8).
@@ -82,7 +79,7 @@ func main() {
 		sc.Counter("writes", &writes)
 		sc.CounterFunc("accesses_sampled", func() uint64 { return reads + writes })
 		srv := obs.NewServer(obs.Config{Component: "cosmos-trace", Registry: reg, Logger: logger})
-		if err := srv.Start(*listen); err != nil {
+		if err := srv.Start(obsFlags.Listen); err != nil {
 			die("observability plane", err)
 		}
 		logger.Info("observability plane listening", "addr", srv.URL())

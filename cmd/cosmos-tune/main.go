@@ -16,12 +16,11 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"sort"
 	"sync/atomic"
-	"syscall"
 	"time"
 
+	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/core"
 	"cosmos/internal/experiments"
 	"cosmos/internal/obs"
@@ -42,13 +41,11 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "search seed")
 		top      = flag.Int("top", 10, "results to print")
 
-		listen    = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /debug/pprof) on this address")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		obsFlags = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
 
-	logger, err := obs.SetupLogger("cosmos-tune", *logFormat, *logLevel)
+	logger, err := obsFlags.Logger("cosmos-tune")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-tune:", err)
 		os.Exit(1)
@@ -60,7 +57,7 @@ func main() {
 
 	// SIGINT/SIGTERM stop the search between (or mid-) trials; the ranking
 	// over the trials completed so far still prints.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := cliflags.SignalContext(0)
 	defer stopSignals()
 
 	rng := rl.NewRand(*seed)
@@ -75,13 +72,13 @@ func main() {
 	// goroutine reads while the search loop writes).
 	var trialsDone atomic.Uint64
 	var bestMilli atomic.Uint64 // best hit rate × 1000
-	if *listen != "" {
+	if obsFlags.Listen != "" {
 		reg := telemetry.NewRegistry()
 		sc := reg.Scope("tune")
 		sc.CounterFunc("trials_done", trialsDone.Load)
 		sc.Gauge("best_hit_rate", func() float64 { return float64(bestMilli.Load()) / 1000 })
 		srv := obs.NewServer(obs.Config{Component: "cosmos-tune", Registry: reg, Logger: logger})
-		if err := srv.Start(*listen); err != nil {
+		if err := srv.Start(obsFlags.Listen); err != nil {
 			die("observability plane", err)
 		}
 		logger.Info("observability plane listening", "addr", srv.URL())

@@ -1,0 +1,104 @@
+// Package cliflags centralises the flag sets every cosmos command used to
+// copy-paste: the observability plane trio (-listen, -log-format,
+// -log-level), the deterministic fault plane (-fault-*, -crash-*), the
+// campaign timeout and the parallel-engine knob (-parallel-cores). Each
+// Register* call adds one group to a FlagSet; a command picks exactly the
+// groups it supports, so flag names, defaults and help text stay identical
+// across binaries by construction.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosmos/internal/fault"
+	"cosmos/internal/obs"
+)
+
+// Obs holds the observability-plane flags shared by every command.
+type Obs struct {
+	Listen    string
+	LogFormat string
+	LogLevel  string
+}
+
+// RegisterObs adds -listen, -log-format and -log-level to fs.
+func RegisterObs(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.Listen, "listen", "",
+		"serve the observability plane (/metrics, /runs, /events, /healthz, /debug/pprof) on this address (e.g. localhost:9090, :0)")
+	fs.StringVar(&o.LogFormat, "log-format", "text", "log output format: text | json")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	return o
+}
+
+// Logger builds the command's structured logger from the parsed log flags.
+func (o *Obs) Logger(component string) (*slog.Logger, error) {
+	return obs.SetupLogger(component, o.LogFormat, o.LogLevel)
+}
+
+// Fault holds the deterministic fault-plane flags.
+type Fault struct {
+	Rate        float64
+	Seed        uint64
+	Kinds       string
+	CrashAt     uint64
+	CrashDropRL bool
+}
+
+// RegisterFault adds the -fault-* and -crash-* flags to fs.
+func RegisterFault(fs *flag.FlagSet) *Fault {
+	f := &Fault{}
+	fs.Float64Var(&f.Rate, "fault-rate", 0, "per-fetch fault probability for the deterministic fault plane (0 = off)")
+	fs.Uint64Var(&f.Seed, "fault-seed", 1, "seed of the fault stream (same seed = same faults, every design)")
+	fs.StringVar(&f.Kinds, "fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt; empty = all at -fault-rate)")
+	fs.Uint64Var(&f.CrashAt, "crash-at", 0, "crash the memory controller before this access number and replay recovery (0 = never)")
+	fs.BoolVar(&f.CrashDropRL, "crash-drop-rl", false, "the crash also loses the RL predictor tables")
+	return f
+}
+
+// Config resolves the parsed flags into a fault campaign: nil when the
+// plane is off (no rate, no crash point), so a zero-flag run stays
+// bit-identical to a build with no fault section at all. Callers validate
+// the returned config on their usual path (sim.Config.Validate or
+// fault.Config.Validate).
+func (f *Fault) Config() *fault.Config {
+	if f.Rate <= 0 && f.CrashAt == 0 {
+		return nil
+	}
+	return &fault.Config{
+		Seed: f.Seed, Rate: f.Rate, Kinds: f.Kinds,
+		CrashAt: f.CrashAt, CrashDropRL: f.CrashDropRL,
+	}
+}
+
+// RegisterTimeout adds the -timeout flag to fs.
+func RegisterTimeout(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+}
+
+// RegisterParallelCores adds the -parallel-cores flag to fs.
+func RegisterParallelCores(fs *flag.FlagSet) *int {
+	return fs.Int("parallel-cores", 0,
+		"run each simulation on the deterministic epoch-barrier parallel engine with up to this many worker goroutines; results are bit-identical to serial (0/1 = serial engine)")
+}
+
+// SignalContext builds the command's root context: SIGINT/SIGTERM cancel
+// it (in-flight simulations stop within sim.CancelCheckEvery steps), and a
+// positive timeout bounds the whole run. The returned stop releases both.
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}

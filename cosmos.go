@@ -106,6 +106,9 @@ func orchestrator() *runner.Orchestrator {
 
 // Run simulates one workload on one design and returns the metrics. It is
 // RunContext with a background context.
+//
+// Deprecated: use RunContext, which adds cooperative cancellation for the
+// same spec and results. Run remains a thin wrapper and will keep working.
 func Run(spec RunSpec) (Results, error) {
 	return RunContext(context.Background(), spec)
 }
@@ -196,11 +199,21 @@ type ExperimentOpts struct {
 	// Progress, when non-nil, receives a RunUpdate per completed
 	// simulation request. It may be called concurrently.
 	Progress func(RunUpdate)
+	// ParallelCores > 1 runs each simulation on the deterministic
+	// epoch-barrier parallel engine with up to that many worker goroutines.
+	// Results are bit-identical to serial runs — the knob trades wall-clock
+	// for CPUs, never semantics — so results stored under one setting are
+	// reused under any other.
+	ParallelCores int
 }
 
 // RunExperiment regenerates one paper table or figure. scale 1.0 is the
 // full reproduction; smaller values trade fidelity for speed (0 = smoke).
 // It is RunExperimentContext with a background context and default options.
+//
+// Deprecated: use RunExperimentContext, which adds cancellation, worker
+// bounds, persistent resume and progress reporting for the same output.
+// RunExperiment remains a thin wrapper and will keep working.
 func RunExperiment(id string, scale float64) (*stats.Table, error) {
 	return RunExperimentContext(context.Background(), id, ExperimentOpts{Scale: scale})
 }
@@ -217,6 +230,9 @@ func RunExperimentContext(ctx context.Context, id string, opts ExperimentOpts) (
 	lopts := []experiments.LabOption{experiments.WithContext(ctx)}
 	if opts.Workers > 0 {
 		lopts = append(lopts, experiments.WithWorkers(opts.Workers))
+	}
+	if opts.ParallelCores > 1 {
+		lopts = append(lopts, experiments.WithParallelCores(opts.ParallelCores))
 	}
 	if opts.ResultsDir != "" {
 		st, err := runner.OpenStore(opts.ResultsDir)

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cosmos/internal/telemetry"
 )
@@ -37,12 +38,6 @@ type Event struct {
 	Seq uint64
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
-
 // Stats accumulates hit/miss/traffic counters for one cache.
 type Stats struct {
 	Accesses   uint64
@@ -71,13 +66,48 @@ func (s Stats) HitRate() float64 {
 // Cache is a set-associative cache indexed by cache-line number
 // (byte address >> 6). It is a tag store only: data payloads live in the
 // functional layer (internal/enclave), not here.
+//
+// The tag store is laid out for the probe loop: one contiguous uint64 tag
+// array (sets*ways, row-major) plus per-set valid/dirty bitmasks, so a
+// lookup scans packed tags guided by a popcount walk over the valid mask
+// and victim selection finds a free way with one trailing-zeros
+// instruction. Set index and tag shift are precomputed at construction.
 type Cache struct {
 	name  string
 	sets  int
 	ways  int
-	lines []line // sets*ways, row-major
-	pol   Policy
-	seq   uint64
+	shift uint   // log2(sets): tag = line >> shift
+	mask  uint64 // sets - 1
+	wmask uint64 // ways low bits set: the full-set valid mask
+
+	tags  []uint64 // sets*ways line tags, row-major
+	valid []uint64 // per-set way-occupancy bitmask
+	dirty []uint64 // per-set dirty bitmask
+	// partial holds the low byte of every way's tag, eight ways packed per
+	// uint64 (pw words per set), so a lookup compares all ways at once with
+	// a SWAR zero-byte scan and only candidate ways touch the full tag
+	// array. Bytes of invalid ways are stale; candidates are verified
+	// against the valid mask and the full tag, so stale or colliding bytes
+	// cost one extra compare, never a wrong answer.
+	partial []uint64
+	pw      int // partial words per set: (ways+7)/8
+
+	pol Policy
+	// lru is set when pol is the plain LRU policy; its touch/victim
+	// callbacks are then inlined on the hot path instead of dispatched
+	// through the Policy interface. Semantics are identical.
+	lru *LRU
+	seq uint64
+
+	// MRU-repeat memo (LRU caches only): the line, set and way of the most
+	// recent access. A repeat of that line is answered without lookup or
+	// policy work — the line is necessarily still resident (the most
+	// recently touched way is never the eviction victim, and any fill that
+	// displaces it retargets the memo) and already at the MRU position, so
+	// only the hit counters and the dirty bit need updating. lastLine is
+	// ^0 when no memo is valid.
+	lastLine         uint64
+	lastSet, lastWay int
 
 	Stats Stats
 }
@@ -102,6 +132,9 @@ func ValidateGeometry(name string, sizeBytes, ways int) error {
 	if ways <= 0 {
 		return fmt.Errorf("cache %s: ways %d must be positive", name, ways)
 	}
+	if ways > 64 {
+		return fmt.Errorf("cache %s: ways %d exceeds the supported maximum of 64", name, ways)
+	}
 	if sizeBytes%(ways*lineSize) != 0 {
 		return fmt.Errorf("cache %s: size %d not a multiple of ways(%d) x %dB lines",
 			name, sizeBytes, ways, lineSize)
@@ -115,13 +148,32 @@ func ValidateGeometry(name string, sizeBytes, ways int) error {
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity and
-// 64-byte lines. The number of sets must come out a power of two.
+// 64-byte lines. The number of sets must come out a power of two; ways is
+// capped at 64 (the bitmask width).
 func New(name string, sizeBytes, ways int, pol Policy) *Cache {
 	if err := ValidateGeometry(name, sizeBytes, ways); err != nil {
 		panic(err.Error())
 	}
 	sets := sizeBytes / (ways * 64)
-	c := &Cache{name: name, sets: sets, ways: ways, lines: make([]line, sets*ways), pol: pol}
+	pw := (ways + 7) / 8
+	c := &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		shift:   uint(log2(sets)),
+		mask:    uint64(sets - 1),
+		wmask:   ^uint64(0) >> (64 - uint(ways)),
+		tags:    make([]uint64, sets*ways),
+		valid:   make([]uint64, sets),
+		dirty:   make([]uint64, sets),
+		partial: make([]uint64, sets*pw),
+		pw:      pw,
+		pol:     pol,
+	}
+	if l, ok := pol.(*LRU); ok {
+		c.lru = l
+	}
+	c.lastLine = ^uint64(0)
 	pol.Reset(sets, ways)
 	return c
 }
@@ -142,7 +194,7 @@ func (c *Cache) SizeBytes() int { return c.sets * c.ways * 64 }
 func (c *Cache) Policy() Policy { return c.pol }
 
 func (c *Cache) index(lineNum uint64) (set int, tag uint64) {
-	return int(lineNum & uint64(c.sets-1)), lineNum >> uint(log2(c.sets))
+	return int(lineNum & c.mask), lineNum >> c.shift
 }
 
 func log2(n int) int {
@@ -151,6 +203,41 @@ func log2(n int) int {
 		k++
 	}
 	return k
+}
+
+// SWAR constants: lsb repeats 0x01 in every byte, msb repeats 0x80.
+const (
+	swarLSB = 0x0101010101010101
+	swarMSB = 0x8080808080808080
+)
+
+// findWay returns the way holding tag in set, or -1. The partial-tag words
+// narrow the search with a SWAR zero-byte scan — a miss usually costs one
+// word load per eight ways instead of a tag walk — and each candidate is
+// confirmed against the valid mask and the full tag. The zero-byte trick can
+// flag false positives in bytes above a true zero byte (borrow propagation);
+// they fail the confirm and cost nothing else. Fills are miss-only, so at
+// most one valid way can match and candidate order is irrelevant.
+func (c *Cache) findWay(base, set int, valid, tag uint64) int {
+	pb := uint64(uint8(tag)) * swarLSB
+	pbase := set * c.pw
+	for wd := 0; wd < c.pw; wd++ {
+		x := c.partial[pbase+wd] ^ pb
+		for m := (x - swarLSB) &^ x & swarMSB; m != 0; m &= m - 1 {
+			w := wd<<3 | bits.TrailingZeros64(m)>>3
+			if valid>>uint(w)&1 != 0 && c.tags[base+w] == tag {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// setPartial records the low tag byte of (set, way) in the packed array.
+func (c *Cache) setPartial(set, way int, b uint8) {
+	i := set*c.pw + way>>3
+	sh := uint(way&7) * 8
+	c.partial[i] = c.partial[i]&^(0xff<<sh) | uint64(b)<<sh
 }
 
 // RegisterMetrics registers this cache's hit/miss/eviction/writeback
@@ -170,91 +257,115 @@ func (c *Cache) RegisterMetrics(s *telemetry.Scope) {
 // Access performs a load or store of the given cache-line number, filling on
 // miss and evicting per the policy. sig tags the access's code region.
 func (c *Cache) Access(lineNum uint64, write bool, sig uint16) Result {
+	hit, set, way, evLine, ev, evDirty := c.probe(lineNum, write, sig)
+	return Result{Hit: hit, Set: set, Way: way, Evicted: ev, EvictedLine: evLine, EvictedDirty: evDirty}
+}
+
+// probe is the access engine behind Access: identical semantics, but the
+// outcome comes back in registers instead of a Result struct, which is what
+// the Level.Probe hot path wants — the struct fill-and-copy is measurable at
+// simulator access rates. Exported callers go through the Access wrapper.
+func (c *Cache) probe(lineNum uint64, write bool, sig uint16) (hit bool, set, way int, evictedLine uint64, evicted, evictedDirty bool) {
+	if lineNum == c.lastLine {
+		// MRU repeat: resident and already MRU — the lookup and the
+		// recency touch are both no-ops.
+		c.Stats.Accesses++
+		c.Stats.Hits++
+		if write {
+			c.dirty[c.lastSet] |= 1 << uint(c.lastWay)
+		}
+		return true, c.lastSet, c.lastWay, 0, false, false
+	}
 	c.Stats.Accesses++
 	c.seq++
-	set, tag := c.index(lineNum)
+	set = int(lineNum & c.mask)
+	tag := lineNum >> c.shift
 	base := set * c.ways
-	ev := Event{Tag: tag, Sig: sig, Seq: c.seq}
 
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			c.Stats.Hits++
-			if write {
-				ln.dirty = true
-			}
-			c.pol.OnHit(set, w, ev)
-			return Result{Hit: true, Set: set, Way: w}
+	if w := c.findWay(base, set, c.valid[set], tag); w >= 0 {
+		c.Stats.Hits++
+		if write {
+			c.dirty[set] |= 1 << uint(w)
 		}
+		if c.lru != nil {
+			c.lru.touch(set, w)
+			c.lastLine, c.lastSet, c.lastWay = lineNum, set, w
+		} else {
+			c.pol.OnHit(set, w, Event{Tag: tag, Sig: sig, Seq: c.seq})
+		}
+		return true, set, w, 0, false, false
 	}
 
 	c.Stats.Misses++
-	res := Result{Set: set}
-	// Prefer an invalid way.
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			way = w
-			break
+	// Prefer an invalid way (the lowest, matching the old linear scan).
+	if inv := ^c.valid[set] & c.wmask; inv != 0 {
+		way = bits.TrailingZeros64(inv)
+	} else {
+		if c.lru != nil {
+			way = c.lru.Victim(set)
+		} else {
+			way = c.pol.Victim(set)
+			if way < 0 || way >= c.ways {
+				panic(fmt.Sprintf("cache %s: policy %s returned invalid victim %d", c.name, c.pol.Name(), way))
+			}
 		}
-	}
-	if way < 0 {
-		way = c.pol.Victim(set)
-		if way < 0 || way >= c.ways {
-			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim %d", c.name, c.pol.Name(), way))
-		}
-		victim := &c.lines[base+way]
 		c.Stats.Evictions++
-		res.Evicted = true
-		res.EvictedLine = victim.tag<<uint(log2(c.sets)) | uint64(set)
-		res.EvictedDirty = victim.dirty
-		if victim.dirty {
+		evicted = true
+		evictedLine = c.tags[base+way]<<c.shift | uint64(set)
+		evictedDirty = c.dirty[set]>>uint(way)&1 != 0
+		if evictedDirty {
 			c.Stats.Writebacks++
 		}
-		c.pol.OnEvict(set, way)
+		if c.lru == nil {
+			c.pol.OnEvict(set, way)
+		}
 	}
-	c.lines[base+way] = line{tag: tag, valid: true, dirty: write}
-	c.pol.OnInsert(set, way, ev)
-	res.Way = way
-	return res
+	c.tags[base+way] = tag
+	c.setPartial(set, way, uint8(tag))
+	c.valid[set] |= 1 << uint(way)
+	if write {
+		c.dirty[set] |= 1 << uint(way)
+	} else {
+		c.dirty[set] &^= 1 << uint(way)
+	}
+	if c.lru != nil {
+		c.lru.touch(set, way)
+		c.lastLine, c.lastSet, c.lastWay = lineNum, set, way
+	} else {
+		c.pol.OnInsert(set, way, Event{Tag: tag, Sig: sig, Seq: c.seq})
+	}
+	return false, set, way, evictedLine, evicted, evictedDirty
 }
 
 // Contains probes for the line without disturbing replacement state or
 // statistics. It is used to validate data-location predictions.
 func (c *Cache) Contains(lineNum uint64) bool {
 	set, tag := c.index(lineNum)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].valid && c.lines[base+w].tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findWay(set*c.ways, set, c.valid[set], tag) >= 0
 }
 
 // Invalidate drops the line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(lineNum uint64) (present, dirty bool) {
 	set, tag := c.index(lineNum)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			d := ln.dirty
-			ln.valid = false
-			ln.dirty = false
-			return true, d
-		}
+	w := c.findWay(set*c.ways, set, c.valid[set], tag)
+	if w < 0 {
+		return false, false
 	}
-	return false, false
+	bit := uint64(1) << uint(w)
+	d := c.dirty[set]&bit != 0
+	c.valid[set] &^= bit
+	c.dirty[set] &^= bit
+	c.lastLine = ^uint64(0)
+	return true, d
 }
 
 // Flush invalidates every line, returning the number of dirty lines dropped.
 func (c *Cache) Flush() (dirty int) {
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			dirty++
-		}
-		c.lines[i] = line{}
+	c.lastLine = ^uint64(0)
+	for s := 0; s < c.sets; s++ {
+		dirty += bits.OnesCount64(c.valid[s] & c.dirty[s])
+		c.valid[s] = 0
+		c.dirty[s] = 0
 	}
 	return dirty
 }
@@ -264,22 +375,23 @@ func (c *Cache) Flush() (dirty int) {
 // cache (crash recovery re-verifies dirty metadata, which walks back through
 // this cache) without the walk observing stale entries.
 func (c *Cache) FlushLines(fn func(lineNum uint64, dirty bool)) {
+	c.lastLine = ^uint64(0)
 	type victim struct {
 		line  uint64
 		dirty bool
 	}
-	victims := make([]victim, 0, len(c.lines))
-	shift := uint(log2(c.sets))
-	for i := range c.lines {
-		if !c.lines[i].valid {
-			continue
+	victims := make([]victim, 0, c.sets*c.ways)
+	for s := 0; s < c.sets; s++ {
+		vm, dm := c.valid[s], c.dirty[s]
+		c.valid[s] = 0
+		c.dirty[s] = 0
+		for ; vm != 0; vm &= vm - 1 {
+			w := bits.TrailingZeros64(vm)
+			victims = append(victims, victim{
+				line:  c.tags[s*c.ways+w]<<c.shift | uint64(s),
+				dirty: dm>>uint(w)&1 != 0,
+			})
 		}
-		set := i / c.ways
-		victims = append(victims, victim{
-			line:  c.lines[i].tag<<shift | uint64(set),
-			dirty: c.lines[i].dirty,
-		})
-		c.lines[i] = line{}
 	}
 	for _, v := range victims {
 		fn(v.line, v.dirty)

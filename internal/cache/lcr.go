@@ -72,33 +72,39 @@ func (p *LCR) Hint(set, way int) (good bool, score uint8) {
 	return p.flag[i], p.score[i]
 }
 
-// Victim implements Algorithm 2.
+// Victim implements Algorithm 2: a bad-locality line with the highest score
+// wins eviction; when every line is good, the lowest score loses (ties break
+// to the older stamp). Both candidates are tracked in one pass — the good
+// candidate only matters when no bad line exists, i.e. when every way is
+// good, so restricting it to good ways is equivalent to the two-pass form.
+// Score and stamp are packed into one comparison key per way (score in the
+// top bits, stamp below), so each way costs a single compare: maximizing
+// score|^stamp prefers the higher bad score and, on equal scores, the older
+// stamp; minimizing score|stamp does the mirror image for good lines. The
+// 56-bit stamp field wraps only after 7×10^16 touches, far beyond any run.
 func (p *LCR) Victim(set int) int {
+	const stampMask = 1<<56 - 1
 	base := set * p.ways
-	evict := -1
-	maxBad := -1
-	minGood := 256
-	var evictStamp uint64
+	evictBad, evictGood := -1, -1
+	var bestBad, bestGood uint64
 	for w := 0; w < p.ways; w++ {
 		i := base + w
-		if !p.flag[i] { // bad locality: highest score wins eviction
-			s := int(p.score[i])
-			if s > maxBad || (s == maxBad && p.stamp[i] < evictStamp) {
-				evict, maxBad, evictStamp = w, s, p.stamp[i]
+		if !p.flag[i] {
+			k := uint64(p.score[i])<<56 | ^p.stamp[i]&stampMask
+			if evictBad < 0 || k > bestBad {
+				evictBad, bestBad = w, k
+			}
+		} else {
+			k := uint64(p.score[i])<<56 | p.stamp[i]&stampMask
+			if evictGood < 0 || k < bestGood {
+				evictGood, bestGood = w, k
 			}
 		}
 	}
-	if evict >= 0 {
-		return evict
+	if evictBad >= 0 {
+		return evictBad
 	}
-	for w := 0; w < p.ways; w++ { // all good: lowest score is evicted
-		i := base + w
-		s := int(p.score[i])
-		if evict < 0 || s < minGood || (s == minGood && p.stamp[i] < evictStamp) {
-			evict, minGood, evictStamp = w, s, p.stamp[i]
-		}
-	}
-	return evict
+	return evictGood
 }
 
 // StorageBitsPerLine is the LCR metadata cost per cache line (Table 2:

@@ -36,6 +36,25 @@ func (l *Level) Name() string { return l.cache.Name() }
 // Latency implements memsys.Level.
 func (l *Level) Latency() uint64 { return l.lat }
 
+// Probe is the devirtualized hot path: identical semantics to Access —
+// lookup, fill on miss, dirty-victim cascade — without Request/Response
+// struct traffic or interface dispatch at the call site. The simulator's
+// step engine calls it on concrete *Level chains; adapters and the fault
+// plane keep using Access.
+func (l *Level) Probe(line uint64, write bool, sig uint16, core int, now uint64) bool {
+	hit, _, _, evLine, evicted, evDirty := l.cache.probe(line, write, sig)
+	if evicted && evDirty && l.down != nil {
+		l.down.Writeback(memsys.Request{
+			Line:  evLine,
+			Write: true,
+			Sig:   memsys.SigWriteback,
+			Core:  core,
+			Now:   now,
+		})
+	}
+	return hit
+}
+
 // Access performs a demand lookup and cascades any dirty victim down the
 // chain before returning.
 func (l *Level) Access(r memsys.Request) memsys.Response {

@@ -73,6 +73,12 @@ func TestCETMatchesReferenceModel(t *testing.T) {
 		if cet.Len() != len(ref.order) {
 			t.Fatalf("step %d: len %d, ref %d", i, cet.Len(), len(ref.order))
 		}
+		if i%997 == 0 && !cet.occupancyCheck() {
+			t.Fatalf("step %d: occupancy bitmaps out of sync with the entry index", i)
+		}
+	}
+	if !cet.occupancyCheck() {
+		t.Fatal("final occupancy bitmaps out of sync with the entry index")
 	}
 }
 

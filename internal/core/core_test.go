@@ -141,8 +141,8 @@ func TestCETChurn(t *testing.T) {
 			t.Fatal("CET exceeded capacity")
 		}
 	}
-	if len(c.buckets) > 64 {
-		t.Fatalf("bucket map leaked: %d buckets for 64 entries", len(c.buckets))
+	if n := c.buckets.len(); n > 64 {
+		t.Fatalf("bucket index leaked: %d buckets for 64 entries", n)
 	}
 }
 

@@ -57,14 +57,81 @@ type Stats struct {
 // materialise on first write, matching a zero-initialised memory.
 type Store struct {
 	scheme Scheme
-	blocks map[uint64]*block
+	morph  bool // scheme is MorphCtr: format morphing applies
+	blocks blockMap
 
 	Stats Stats
+}
+
+// blockMap is a growable linear-probing open-addressed index from counter
+// block number to its materialised state. Every counter access walks it (one
+// lookup per Value/Increment), so it replaces the runtime map on that path:
+// a hit is one or two array probes with no hashing dispatch, and blocks are
+// never deleted, so there is no tombstone bookkeeping. Block numbers are
+// line>>log2(LinesPerBlock) and stay far below the reserved empty sentinel.
+type blockMap struct {
+	keys []uint64
+	vals []*block
+	mask uint64
+	n    int
+}
+
+const blockEmpty = ^uint64(0)
+
+func (m *blockMap) init(size int) {
+	m.keys = make([]uint64, size)
+	m.vals = make([]*block, size)
+	m.mask = uint64(size - 1)
+	m.n = 0
+	for i := range m.keys {
+		m.keys[i] = blockEmpty
+	}
+}
+
+func (m *blockMap) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+// at returns the block for key, or nil when absent.
+func (m *blockMap) at(key uint64) *block {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.vals[i]
+		case blockEmpty:
+			return nil
+		}
+	}
+}
+
+// put inserts key→b (key must be absent), growing at ¾ load.
+func (m *blockMap) put(key uint64, b *block) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		old := *m
+		m.init(2 * len(old.keys))
+		for i, k := range old.keys {
+			if k != blockEmpty {
+				m.set(k, old.vals[i])
+			}
+		}
+		m.n = old.n
+	}
+	m.set(key, b)
+	m.n++
+}
+
+func (m *blockMap) set(key uint64, b *block) {
+	i := m.home(key)
+	for m.keys[i] != blockEmpty {
+		i = (i + 1) & m.mask
+	}
+	m.keys[i], m.vals[i] = key, b
 }
 
 type block struct {
 	major  uint64
 	minors []uint32
+	zero   int  // count of zero minors, maintained incrementally
 	zcc    bool // MorphCtr: currently in zero-counter-compressed format
 }
 
@@ -73,7 +140,9 @@ func NewStore(s Scheme) *Store {
 	if s.LinesPerBlock <= 0 || s.MinorCapacity == 0 {
 		panic(fmt.Sprintf("ctr: invalid scheme %+v", s))
 	}
-	return &Store{scheme: s, blocks: make(map[uint64]*block)}
+	st := &Store{scheme: s, morph: s.SchemeName == "MorphCtr"}
+	st.blocks.init(256)
+	return st
 }
 
 // Scheme returns the store's counter organisation.
@@ -90,10 +159,10 @@ func (st *Store) slotOf(dataLine uint64) int {
 }
 
 func (st *Store) get(blockIdx uint64) *block {
-	b := st.blocks[blockIdx]
+	b := st.blocks.at(blockIdx)
 	if b == nil {
-		b = &block{minors: make([]uint32, st.scheme.LinesPerBlock), zcc: true}
-		st.blocks[blockIdx] = b
+		b = &block{minors: make([]uint32, st.scheme.LinesPerBlock), zero: st.scheme.LinesPerBlock, zcc: true}
+		st.blocks.put(blockIdx, b)
 	}
 	return b
 }
@@ -101,7 +170,7 @@ func (st *Store) get(blockIdx uint64) *block {
 // Value returns the (major, minor) counter pair for a line — the value that
 // feeds AES_Enc(PA ‖ CTR_M ‖ CTR_m).
 func (st *Store) Value(dataLine uint64) (major uint64, minor uint32) {
-	b := st.blocks[st.BlockOf(dataLine)]
+	b := st.blocks.at(st.BlockOf(dataLine))
 	if b == nil {
 		return 0, 0
 	}
@@ -118,6 +187,9 @@ func (st *Store) Increment(dataLine uint64) (overflowed bool, reencryptLines int
 	bi := st.BlockOf(dataLine)
 	b := st.get(bi)
 	slot := st.slotOf(dataLine)
+	if b.minors[slot] == 0 {
+		b.zero--
+	}
 	b.minors[slot]++
 	st.updateFormat(b)
 	if b.minors[slot] > st.scheme.MinorCapacity {
@@ -131,7 +203,8 @@ func (st *Store) Increment(dataLine uint64) (overflowed bool, reencryptLines int
 			b.minors[i] = 0
 		}
 		b.minors[slot] = 1 // the write that caused the overflow
-		if !b.zcc && st.scheme.SchemeName == "MorphCtr" {
+		b.zero = len(b.minors) - 1
+		if !b.zcc && st.morph {
 			st.Stats.FormatToZCC++
 		}
 		b.zcc = true
@@ -142,18 +215,14 @@ func (st *Store) Increment(dataLine uint64) (overflowed bool, reencryptLines int
 
 // updateFormat models MorphCtr's morphing between zero-counter-compressed
 // and uniform formats: a block stays ZCC while at least half its minors are
-// zero. Transitions are counted for the ablation study.
+// zero. Transitions are counted for the ablation study. The zero-minor
+// count is maintained incrementally by the callers, so this is O(1) per
+// write instead of a scan over all minors.
 func (st *Store) updateFormat(b *block) {
-	if st.scheme.SchemeName != "MorphCtr" {
+	if !st.morph {
 		return
 	}
-	zero := 0
-	for _, m := range b.minors {
-		if m == 0 {
-			zero++
-		}
-	}
-	sparse := zero*2 >= len(b.minors)
+	sparse := b.zero*2 >= len(b.minors)
 	if sparse != b.zcc {
 		if sparse {
 			st.Stats.FormatToZCC++
@@ -168,7 +237,7 @@ func (st *Store) updateFormat(b *block) {
 // block re-encryption. The functional enclave uses it to decrypt live lines
 // under the old counters before the reset.
 func (st *Store) WillOverflow(dataLine uint64) bool {
-	b := st.blocks[st.BlockOf(dataLine)]
+	b := st.blocks.at(st.BlockOf(dataLine))
 	if b == nil {
 		return false
 	}
@@ -179,7 +248,7 @@ func (st *Store) WillOverflow(dataLine uint64) bool {
 // counters are non-zero (i.e. lines holding ciphertext under this block's
 // counters).
 func (st *Store) LiveLines(blockIdx uint64) []uint64 {
-	b := st.blocks[blockIdx]
+	b := st.blocks.at(blockIdx)
 	if b == nil {
 		return nil
 	}
@@ -197,7 +266,7 @@ func (st *Store) LiveLines(blockIdx uint64) []uint64 {
 // for hashing into the integrity tree.
 func (st *Store) BlockDigestInput(blockIdx uint64) []byte {
 	out := make([]byte, 8+4*st.scheme.LinesPerBlock)
-	b := st.blocks[blockIdx]
+	b := st.blocks.at(blockIdx)
 	if b == nil {
 		return out
 	}
@@ -223,14 +292,13 @@ func putU32(b []byte, v uint32) {
 // BlockExists reports whether the block has materialised (any write landed
 // in it). Unmaterialised blocks are all-zero and absent from the MT.
 func (st *Store) BlockExists(blockIdx uint64) bool {
-	_, ok := st.blocks[blockIdx]
-	return ok
+	return st.blocks.at(blockIdx) != nil
 }
 
 // SnapshotBlock captures a counter block's values so tests can model a
 // physical attacker rolling counters in DRAM back to a stale version.
 func (st *Store) SnapshotBlock(blockIdx uint64) (major uint64, minors []uint32) {
-	b := st.blocks[blockIdx]
+	b := st.blocks.at(blockIdx)
 	if b == nil {
 		return 0, make([]uint32, st.scheme.LinesPerBlock)
 	}
@@ -244,10 +312,16 @@ func (st *Store) RestoreBlock(blockIdx uint64, major uint64, minors []uint32) {
 	b := st.get(blockIdx)
 	b.major = major
 	copy(b.minors, minors)
+	b.zero = 0
+	for _, m := range b.minors {
+		if m == 0 {
+			b.zero++
+		}
+	}
 }
 
 // BlocksTouched reports how many counter blocks have materialised.
-func (st *Store) BlocksTouched() int { return len(st.blocks) }
+func (st *Store) BlocksTouched() int { return st.blocks.n }
 
 // CtrBlocksFor reports how many counter blocks cover a memory of the given
 // size (bytes), e.g. 32GB/64B/128 ≈ 4.2M blocks for MorphCtr.

@@ -113,12 +113,13 @@ type Lab struct {
 type LabOption func(*labOptions)
 
 type labOptions struct {
-	ctx       context.Context
-	workers   int
-	store     *runner.Store
-	observer  func(runner.Event)
-	lifecycle func(runner.Transition)
-	fault     *fault.Config
+	ctx           context.Context
+	workers       int
+	store         *runner.Store
+	observer      func(runner.Event)
+	lifecycle     func(runner.Transition)
+	fault         *fault.Config
+	parallelCores int
 }
 
 // WithContext binds every simulation the lab runs to ctx: on cancellation
@@ -160,6 +161,15 @@ func WithFaults(fc *fault.Config) LabOption {
 	return func(o *labOptions) { o.fault = fc }
 }
 
+// WithParallelCores runs every simulation on the deterministic epoch-barrier
+// parallel engine with up to n worker goroutines (n > 1; see
+// sim.System.SetParallelCores). Results are bit-identical to serial runs, so
+// the knob does not enter the run's content hash — memoised and stored cells
+// are shared across settings.
+func WithParallelCores(n int) LabOption {
+	return func(o *labOptions) { o.parallelCores = n }
+}
+
 // NewLab creates a result-sharing experiment context.
 func NewLab(sc Scale, opts ...LabOption) *Lab {
 	o := labOptions{ctx: context.Background()}
@@ -167,7 +177,7 @@ func NewLab(sc Scale, opts ...LabOption) *Lab {
 		opt(&o)
 	}
 	l := &Lab{Scale: sc, ctx: o.ctx, fault: o.fault}
-	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store})
+	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store, ParallelCores: o.parallelCores})
 	l.orch.Observer = o.observer
 	l.orch.Lifecycle = o.lifecycle
 	l.orch.Instrument = func(label string, s *sim.System) func() {

@@ -21,6 +21,8 @@ type TreeLayout struct {
 	levels     []uint64      // node count per level, level 0 = leaves
 	levelBase  []memsys.Addr // DRAM base address per level (levels ≥ 1)
 	totalNodes uint64
+	shift      uint // log2(Arity) when Arity is a power of two, else 0
+	fetch      int  // highest level PathNodes emits (root excluded)
 }
 
 // NewTreeLayout builds the layout for a tree over leafBlocks counter blocks
@@ -44,6 +46,14 @@ func NewTreeLayout(leafBlocks uint64, arity int, base memsys.Addr) *TreeLayout {
 		addr += memsys.Addr(t.levels[lvl] * memsys.LineSize)
 		t.totalNodes += t.levels[lvl]
 	}
+	// The top level is the on-chip root (count 1) whenever the tree has any
+	// levels at all; PathNodes stops just below it.
+	t.fetch = len(t.levels) - 2
+	if arity&(arity-1) == 0 {
+		for 1<<t.shift < arity {
+			t.shift++
+		}
+	}
 	return t
 }
 
@@ -65,11 +75,17 @@ func (t *TreeLayout) NodeAddr(lvl int, idx uint64) memsys.Addr {
 func (t *TreeLayout) PathNodes(leaf uint64, buf []memsys.Addr) []memsys.Addr {
 	buf = buf[:0]
 	idx := leaf
-	for lvl := 1; lvl < len(t.levels); lvl++ {
-		idx /= uint64(t.Arity)
-		if t.levels[lvl] == 1 {
-			break // root: on-chip, not fetched
+	if t.shift != 0 {
+		// Power-of-two arity (the normal case): the per-level parent step is
+		// a shift, and the root test is precomputed into t.fetch.
+		for lvl := 1; lvl <= t.fetch; lvl++ {
+			idx >>= t.shift
+			buf = append(buf, t.levelBase[lvl]+memsys.Addr(idx*memsys.LineSize))
 		}
+		return buf
+	}
+	for lvl := 1; lvl <= t.fetch; lvl++ {
+		idx /= uint64(t.Arity)
 		buf = append(buf, t.NodeAddr(lvl, idx))
 	}
 	return buf

@@ -1,13 +1,17 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
 	"cosmos/internal/runner"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
 	"cosmos/internal/telemetry"
 )
 
@@ -136,6 +140,60 @@ func TestRunTablePerfBreakdown(t *testing.T) {
 	}
 	if s.Cells[0].Perf == nil || s.Cells[0].Perf.StepMS != 2000 {
 		t.Fatalf("cell perf = %+v", s.Cells[0].Perf)
+	}
+}
+
+// TestRunTableParallelEnginePerf runs one real campaign cell on the serial
+// engine and one on the epoch-barrier parallel engine and checks the perf
+// attribution surface agrees: the per-cell /runs Perf breakdown books the
+// run's accesses exactly once (coordinator-side phase counters, not a
+// per-core sum), the campaign Phases accumulator — the source of the
+// cosmos-bench progress `rate` — agrees, and Results stay bit-identical.
+func TestRunTableParallelEnginePerf(t *testing.T) {
+	run := func(parallelCores int) (Cell, uint64, sim.Results) {
+		tbl := NewRunTable(1, nil)
+		o := runner.New(runner.Options{Workers: 1, ParallelCores: parallelCores})
+		o.Lifecycle = tbl.Observe
+		o.Phases = telemetry.NewPhases()
+		tbl.AttachPhases(o.Phases)
+		res, err := o.Run(context.Background(), runner.Spec{
+			Workload: "mcf", Design: secmem.DesignCosmos(), Accesses: 20_000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tbl.Snapshot()
+		if len(s.Cells) != 1 || s.Cells[0].Source != "executed" {
+			t.Fatalf("parallelCores=%d: snapshot = %+v", parallelCores, s)
+		}
+		return s.Cells[0], o.Phases.Accesses(), res
+	}
+
+	serial, serialAcc, serialRes := run(1)
+	par, parAcc, parRes := run(4)
+
+	for _, c := range []struct {
+		mode string
+		cell Cell
+		acc  uint64
+	}{{"serial", serial, serialAcc}, {"parallel", par, parAcc}} {
+		if c.cell.Perf == nil {
+			t.Fatalf("%s: executed cell has no perf breakdown", c.mode)
+		}
+		// Exactly the run's accesses: neither dropped nor double-booked by
+		// per-core workers.
+		if c.cell.Perf.Accesses != 20_000 {
+			t.Fatalf("%s: cell perf accesses = %d, want 20000", c.mode, c.cell.Perf.Accesses)
+		}
+		if c.cell.Perf.StepMS < 0 || c.cell.Perf.AccessesPerSec <= 0 {
+			t.Fatalf("%s: cell perf = %+v", c.mode, c.cell.Perf)
+		}
+		if c.acc != 20_000 {
+			t.Fatalf("%s: campaign accesses = %d, want 20000", c.mode, c.acc)
+		}
+	}
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("parallel engine diverged from serial Results:\nserial:   %+v\nparallel: %+v", serialRes, parRes)
 	}
 }
 

@@ -34,6 +34,8 @@ func TestRunSuiteSmoke(t *testing.T) {
 		"step.MorphCtr.ns_per_op", "step.MorphCtr.allocs_per_op",
 		"step.COSMOS.ns_per_op", "step.COSMOS.allocs_per_op",
 		"decode.tracefile.accesses_per_sec",
+		"engine.serial.accesses_per_sec",
+		"engine.parallel.accesses_per_sec",
 	}
 	if len(r.Metrics) != len(want) {
 		t.Fatalf("got %d metrics, want %d: %+v", len(r.Metrics), len(want), MetricNames(r))

@@ -26,6 +26,34 @@ import (
 // telemetry tracer (traceFetch draws one slice per chain) consume the same
 // fetchPath value, so the two can never disagree about the path's shape.
 
+// planProfile is the per-design half of the fetch plan, precomputed once at
+// New: which early-issue mode the design runs and how the secure-region
+// test resolves. planFetch consults it instead of re-deriving the decision
+// from the design and engine config on every miss.
+type planProfile struct {
+	early secmem.EarlyMode
+	// secureAll short-circuits the region test: every address is protected
+	// (a secure design with no SGXv1-style bound configured).
+	secureAll bool
+	// secureBound is the protected-range limit for bounded secure designs;
+	// 0 for non-secure designs, making the per-miss test a single compare.
+	secureBound uint64
+}
+
+// newPlanProfile resolves the design's fetch-plan profile against the
+// machine config.
+func newPlanProfile(cfg Config, design secmem.Design) planProfile {
+	p := planProfile{early: design.Early}
+	if design.Secure {
+		if cfg.MC.SecureRegionBytes == 0 {
+			p.secureAll = true
+		} else {
+			p.secureBound = cfg.MC.SecureRegionBytes
+		}
+	}
+	return p
+}
+
 // fetchPlan is the decision state opened at the L1-miss point, before the
 // lower levels are probed.
 type fetchPlan struct {
@@ -44,10 +72,11 @@ type fetchPlan struct {
 
 // planFetch opens the fetch plan for an L1 miss: consult the data-location
 // predictor and start the counter pipeline early where the design allows.
+// The design/region decision comes from the profile precomputed at New.
 func (s *System) planFetch(c int, now uint64, line uint64, addr memsys.Addr) fetchPlan {
 	var p fetchPlan
-	p.secure = s.design.Secure && s.mc.InSecureRegion(addr)
-	switch s.design.Early {
+	p.secure = s.plan.secureAll || uint64(addr) < s.plan.secureBound
+	switch s.plan.early {
 	case secmem.EarlyPredicted:
 		p.pred = s.mc.DataPred.Predict(uint64(addr))
 		p.predictedOff = p.pred.OffChip
@@ -71,7 +100,7 @@ func (s *System) planFetch(c int, now uint64, line uint64, addr memsys.Addr) fet
 // store buffer absorbs them); by the last level the speculative read has
 // issued either way.
 func (s *System) gradeOnChipHit(p fetchPlan, now uint64, addr memsys.Addr, write, lastLevel bool) {
-	if s.design.Early != secmem.EarlyPredicted {
+	if s.plan.early != secmem.EarlyPredicted {
 		return
 	}
 	s.mc.DataPred.Learn(p.pred, false)
@@ -150,7 +179,7 @@ func (f fetchPath) finish() uint64 {
 // the timing model — DRAM bank state is shared between the data, counter
 // and MAC streams.
 func (s *System) composeFetch(c int, now uint64, line uint64, addr memsys.Addr, p fetchPlan) fetchPath {
-	if s.design.Early == secmem.EarlyPredicted {
+	if s.plan.early == secmem.EarlyPredicted {
 		s.mc.DataPred.Learn(p.pred, true)
 	}
 	f := fetchPath{

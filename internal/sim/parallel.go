@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cosmos/internal/cache"
+	"cosmos/internal/memsys"
+	"cosmos/internal/telemetry"
+	"cosmos/internal/trace"
+)
+
+// The epoch-barrier parallel engine. Each epoch of at most epochSize
+// decoded accesses runs in two phases:
+//
+//	Phase A (parallel): per-core workers replay their own core's accesses
+//	against the core's private cache levels only — probe, fill, and the
+//	private part of the writeback cascade. A dirty victim that would leave
+//	the private prefix is captured (with the level whose access emitted
+//	it) instead of forwarded. Private cache state is touched only by the
+//	owning core's own access subsequence, and none of these operations
+//	read the thread clock or any shared structure, so each lane's outcome
+//	is independent of worker count and scheduling.
+//
+//	Phase B (serial): the epoch is walked in global decode order doing
+//	everything else exactly as the scalar Step does — fault stream
+//	pinning and crash points, global counters, the fetch plan, shared
+//	level probes, deferred writeback replay at its exact intra-access
+//	position, off-chip fetch composition, and thread-clock advancement.
+//	Every mutation of shared state (LLC, counter/MAC caches, DRAM bank
+//	timers, predictors, fault injector) therefore happens in the same
+//	order, under the same `now`, as in a serial run.
+//
+// Together the two phases produce bit-identical Results for any worker
+// count, including fault campaigns (fault draws are pure functions of the
+// global access index, which Phase B owns). The crash point only drops
+// memory-controller metadata — never private data caches — so Phase A work
+// that precedes a mid-epoch crash remains valid.
+const epochSize = 4096
+
+// escapedWB is a dirty victim that left the private prefix during Phase A:
+// stage is the private level whose demand access (or its cascade) emitted
+// it, fixing the replay position inside the access.
+type escapedWB struct {
+	stage int8
+	line  uint64
+}
+
+// privOutcome is Phase A's record for one access: the private level that
+// hit (-1 when all private levels missed) and the slice of the owning
+// lane's escaped writebacks this access produced.
+type privOutcome struct {
+	hitLevel int8
+	wbStart  int32
+	wbEnd    int32
+}
+
+// coreLane is one core's Phase A state: its private cache prefix, the
+// epoch positions it owns, and its escaped-writeback buffer. A lane is
+// touched by exactly one worker per epoch.
+type coreLane struct {
+	caches []*cache.Cache
+	idxs   []int32
+	wbs    []escapedWB
+}
+
+type parEngine struct {
+	lanes    []coreLane
+	buf      []memsys.Access
+	outcomes []privOutcome
+	workers  int
+}
+
+// parallelEligible reports whether RunContext should use the parallel
+// engine: it is enabled, there is more than one core and at least one
+// private level to farm out, and no interval sampler is attached (its
+// cadence observes per-access intermediate state that only the serial
+// engine reproduces).
+func (s *System) parallelEligible() bool {
+	return s.parallelCores > 1 && s.cfg.Cores > 1 && s.sharedFrom > 0 && s.sampler == nil
+}
+
+// parEngine lazily builds (and caches) the engine scratch state.
+func (s *System) parEngine() *parEngine {
+	e := s.par
+	if e == nil {
+		e = &parEngine{
+			lanes:    make([]coreLane, s.cfg.Cores),
+			buf:      make([]memsys.Access, epochSize),
+			outcomes: make([]privOutcome, epochSize),
+		}
+		for c := range e.lanes {
+			caches := make([]*cache.Cache, s.sharedFrom)
+			for i := 0; i < s.sharedFrom; i++ {
+				caches[i] = s.chains[c][i].Cache()
+			}
+			e.lanes[c].caches = caches
+		}
+		s.par = e
+	}
+	e.workers = s.parallelCores
+	if e.workers > s.cfg.Cores {
+		e.workers = s.cfg.Cores
+	}
+	return e
+}
+
+// runParallel is the epoch-barrier counterpart of RunContext's serial loop.
+// Phase timing happens on this goroutine only: decode books as PhaseDecode,
+// Phase A + Phase B wall time books as PhaseStep, so campaign-level phase
+// accumulators merge cleanly instead of racing across workers.
+func (s *System) runParallel(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
+	e := s.parEngine()
+	done := ctx.Done()
+	timed := s.phases != nil
+	var t0, t1 time.Time
+	for s.accesses < maxAccesses {
+		want := maxAccesses - s.accesses
+		if want > epochSize {
+			want = epochSize
+		}
+		if timed {
+			t0 = time.Now()
+		}
+		n := 0
+		for uint64(n) < want {
+			m := trace.NextBlock(gen, e.buf[n:want])
+			if m == 0 {
+				break
+			}
+			n += m
+		}
+		if timed {
+			t1 = time.Now()
+		}
+		if n > 0 {
+			s.phaseA(e, n)
+			s.phaseB(e, n)
+		}
+		if timed {
+			t2 := time.Now()
+			s.phases.Add(telemetry.PhaseDecode, t1.Sub(t0))
+			s.phases.Add(telemetry.PhaseStep, t2.Sub(t1))
+			s.phases.AddAccesses(uint64(n))
+		}
+		if n == 0 {
+			break
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return s.finishRun(gen.Name()), ctx.Err()
+			default:
+			}
+		}
+	}
+	return s.finishRun(gen.Name()), nil
+}
+
+// phaseA partitions the epoch by core and runs the private-level work on
+// up to e.workers goroutines. Worker w owns every core c with c ≡ w
+// (mod workers); each lane is processed sequentially in decode order.
+func (s *System) phaseA(e *parEngine, n int) {
+	cores := s.cfg.Cores
+	for c := range e.lanes {
+		e.lanes[c].idxs = e.lanes[c].idxs[:0]
+		e.lanes[c].wbs = e.lanes[c].wbs[:0]
+	}
+	for i := 0; i < n; i++ {
+		c := int(e.buf[i].Thread) % cores
+		e.lanes[c].idxs = append(e.lanes[c].idxs, int32(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < cores; c += e.workers {
+				s.privateLane(&e.lanes[c], e)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// privateLane replays one core's epoch subsequence against its private
+// cache prefix, mirroring the scalar walk exactly: the top level sees the
+// store bit, lower levels probe read-only, each miss fills, and each dirty
+// victim cascades — installs into the next private level, or is captured
+// once it would cross into the shared tail.
+func (s *System) privateLane(ln *coreLane, e *parEngine) {
+	sf := s.sharedFrom
+	for _, i := range ln.idxs {
+		a := e.buf[i]
+		out := &e.outcomes[i]
+		out.hitLevel = -1
+		out.wbStart = int32(len(ln.wbs))
+		line := a.Addr.Line()
+		res := ln.caches[0].Access(line, a.Type == memsys.Write, a.Region)
+		if res.Evicted && res.EvictedDirty {
+			ln.cascade(1, 0, res.EvictedLine, sf)
+		}
+		if res.Hit {
+			out.hitLevel = 0
+		} else {
+			for li := 1; li < sf; li++ {
+				res = ln.caches[li].Access(line, false, a.Region)
+				if res.Evicted && res.EvictedDirty {
+					ln.cascade(li+1, int8(li), res.EvictedLine, sf)
+				}
+				if res.Hit {
+					out.hitLevel = int8(li)
+					break
+				}
+			}
+		}
+		out.wbEnd = int32(len(ln.wbs))
+	}
+}
+
+// cascade forwards a dirty victim down the private prefix starting at
+// level `into`, capturing it (tagged with the originating stage) once it
+// escapes into the shared tail. Matches cache.Level's cascade, which
+// installs writebacks as stores under memsys.SigWriteback.
+func (ln *coreLane) cascade(into int, stage int8, line uint64, sharedFrom int) {
+	for into < sharedFrom {
+		r := ln.caches[into].Access(line, true, memsys.SigWriteback)
+		if !r.Evicted || !r.EvictedDirty {
+			return
+		}
+		line = r.EvictedLine
+		into++
+	}
+	ln.wbs = append(ln.wbs, escapedWB{stage: stage, line: line})
+}
+
+// phaseB walks the epoch serially in global decode order, performing
+// everything the scalar Step does except the private-level probes (already
+// done in Phase A): fault/crash points, counters, fetch planning, shared
+// probes, deferred writeback replay, off-chip composition, clock advance.
+func (s *System) phaseB(e *parEngine, n int) {
+	cores := s.cfg.Cores
+	for i := 0; i < n; i++ {
+		a := e.buf[i]
+		c := int(a.Thread) % cores
+		ln := &e.lanes[c]
+		out := e.outcomes[i]
+		if s.faults != nil {
+			s.faults.BeginStep(s.accesses)
+			if s.faults.CrashDue(s.accesses) {
+				s.crash()
+			}
+		}
+		now := s.threadCycles[c]
+		write := a.Type == memsys.Write
+		line := a.Addr.Line()
+
+		s.accesses++
+		if write {
+			s.writes++
+		} else {
+			s.reads++
+		}
+
+		s.demand[0].accesses++
+		wbs := ln.wbs[out.wbStart:out.wbEnd]
+		wbs = s.replayWBs(wbs, 0, c, now)
+		lat := s.l1Lat
+		if out.hitLevel == 0 {
+			s.advance(c, write, a.Dep, lat)
+			continue
+		}
+		s.demand[0].misses++
+
+		plan := s.planFetch(c, now, line, a.Addr)
+
+		chain := s.chains[c]
+		hit := false
+		for li := 1; li < len(chain); li++ {
+			s.demand[li].accesses++
+			var lvlHit bool
+			if li < s.sharedFrom {
+				wbs = s.replayWBs(wbs, int8(li), c, now)
+				lvlHit = out.hitLevel == int8(li)
+			} else {
+				lvlHit = chain[li].Probe(line, false, a.Region, c, now)
+			}
+			lat += s.lats[li]
+			if lvlHit {
+				s.gradeOnChipHit(plan, now, a.Addr, write, li == len(chain)-1)
+				s.advance(c, write, a.Dep, lat)
+				hit = true
+				break
+			}
+			s.demand[li].misses++
+		}
+		if hit {
+			continue
+		}
+
+		path := s.composeFetch(c, now, line, a.Addr, plan)
+		fetchEnd := path.finish()
+		lat = s.l1Lat + fetchEnd
+		s.offChipReads++
+		s.fetchLatSum += fetchEnd
+		if path.predictedOff {
+			s.bypassed++
+		}
+		if s.fetchHist != nil {
+			s.fetchHist.Observe(fetchEnd)
+		}
+		if s.tracer != nil {
+			s.traceFetch(c, now, path)
+		}
+		s.advance(c, write, a.Dep, lat)
+	}
+}
+
+// replayWBs forwards the deferred shared writebacks recorded for the given
+// stage into the shared sink, at the same point in the access where the
+// scalar cascade would have delivered them.
+func (s *System) replayWBs(wbs []escapedWB, stage int8, c int, now uint64) []escapedWB {
+	for len(wbs) > 0 && wbs[0].stage == stage {
+		s.sharedSink.Writeback(memsys.Request{
+			Line:  wbs[0].line,
+			Write: true,
+			Sig:   memsys.SigWriteback,
+			Core:  c,
+			Now:   now,
+		})
+		wbs = wbs[1:]
+	}
+	return wbs
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cosmos/internal/fault"
+	"cosmos/internal/memsys"
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+)
+
+// engineGen builds the shared workload for the engine-equivalence tests: a
+// four-thread interleave of mixed access patterns with enough writes that
+// dirty writebacks escape the private levels and cross into the shared
+// tail, exercising the deferred-writeback replay.
+func engineGen() trace.Generator {
+	r := memsys.Region{Base: 1 << 28, Size: 64 << 20, Elem: 1}
+	return trace.NewInterleave("mix", []trace.Generator{
+		trace.NewUniform(r, 40, 11, 1),
+		trace.NewZipf(r, 1<<16, 0.9, 7, 2),
+		trace.NewSequential(r, 3, 3),
+		trace.NewPointerChase(r, 1<<14, 5, 4),
+	}, 17)
+}
+
+// engineRun executes one run under the chosen engine. parallelCores <= 0
+// selects the raw scalar engine (gen.Next + Step, no block decoding);
+// 1 selects the serial block-decoded RunContext loop; > 1 the epoch-barrier
+// parallel engine. Small private caches force writeback traffic.
+func engineRun(t *testing.T, design secmem.Design, parallelCores int, fc *fault.Config, accesses uint64) (Results, []fault.Event) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.L1Bytes = 16 << 10
+	cfg.L2Bytes = 128 << 10
+	cfg.LLCBytes = 512 << 10
+	cfg.Fault = fc
+	s := New(cfg, design)
+	var events []fault.Event
+	if in := s.Faults(); in != nil {
+		in.Notify = func(ev fault.Event) { events = append(events, ev) }
+	}
+	gen := trace.Limit(engineGen(), accesses)
+	if parallelCores <= 0 {
+		for {
+			a, ok := gen.Next()
+			if !ok {
+				break
+			}
+			s.Step(a)
+		}
+		return s.Results(gen.Name()), events
+	}
+	s.SetParallelCores(parallelCores)
+	if parallelCores > 1 && !s.parallelEligible() {
+		t.Fatalf("parallel engine unexpectedly ineligible (cores=%d)", parallelCores)
+	}
+	return s.Run(gen, accesses), events
+}
+
+// TestEngineEquivalence is the tentpole property: for every design point,
+// the scalar engine, the block-decoded serial engine and the epoch-barrier
+// parallel engine (1, 4 and 8 requested workers) produce DeepEqual-identical
+// Results on the same workload.
+func TestEngineEquivalence(t *testing.T) {
+	const accesses = 40_000
+	for _, d := range secmem.AllDesigns() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			want, _ := engineRun(t, d, 0, nil, accesses)
+			if want.Accesses != accesses {
+				t.Fatalf("scalar engine ran %d accesses, want %d", want.Accesses, accesses)
+			}
+			for _, pc := range []int{1, 4, 8} {
+				got, _ := engineRun(t, d, pc, nil, accesses)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("parallel-cores %d diverged from scalar:\nscalar %+v\nengine %+v", pc, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceUnderFaults extends the property to fault campaigns:
+// with a nonzero fault seed the Results, the fault report and the full
+// ordered violation log must be identical across engines — fault draws are
+// a pure function of the global access index, which every engine replays in
+// the same order. A crash point is included so mid-epoch recovery is
+// exercised under the parallel engine.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	const accesses = 40_000
+	fc := &fault.Config{Seed: 13, Rate: 2e-4, CrashAt: 17_777}
+	for _, d := range []secmem.Design{secmem.DesignCosmos(), secmem.DesignMorph()} {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			want, wantEv := engineRun(t, d, 0, fc, accesses)
+			if want.Fault == nil || want.Fault.Injected == 0 {
+				t.Fatalf("campaign injected nothing: %+v", want.Fault)
+			}
+			for _, pc := range []int{1, 4, 8} {
+				got, gotEv := engineRun(t, d, pc, fc, accesses)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("parallel-cores %d diverged under faults:\nscalar %+v\nengine %+v", pc, want, got)
+				}
+				if !reflect.DeepEqual(wantEv, gotEv) {
+					t.Fatalf("parallel-cores %d violation log diverged: %d vs %d events", pc, len(wantEv), len(gotEv))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAllPrivateHierarchy covers the sharedSink = terminal case: a
+// hierarchy with no shared on-chip level at all, where every escaped
+// writeback drains straight into the secure-memory terminal.
+func TestParallelAllPrivateHierarchy(t *testing.T) {
+	mk := func(pc int) Results {
+		cfg := testConfig()
+		cfg.Levels = []LevelSpec{
+			{Name: "l1", Bytes: 16 << 10, Ways: 2, Lat: 2},
+			{Name: "l2", Bytes: 64 << 10, Ways: 4, Lat: 20},
+		}
+		s := New(cfg, secmem.DesignCosmos())
+		s.SetParallelCores(pc)
+		if pc > 1 && !s.parallelEligible() {
+			t.Fatalf("all-private hierarchy must be parallel-eligible")
+		}
+		return s.Run(trace.Limit(engineGen(), 30_000), 30_000)
+	}
+	want := mk(1)
+	if got := mk(4); !reflect.DeepEqual(want, got) {
+		t.Fatalf("all-private hierarchy diverged:\nserial %+v\nparallel %+v", want, got)
+	}
+}
+
+// TestParallelFallsBackToSerial enumerates the fallback conditions: the
+// knob off, a single-core config, a hierarchy with no private levels, and
+// an attached sampler all must run the serial engine.
+func TestParallelFallsBackToSerial(t *testing.T) {
+	s := New(testConfig(), secmem.DesignNP())
+	if s.parallelEligible() {
+		t.Fatal("eligible with the knob off")
+	}
+	s.SetParallelCores(4)
+	if !s.parallelEligible() {
+		t.Fatal("ineligible with knob on, multi-core, private levels present")
+	}
+
+	cfg := testConfig()
+	cfg.Cores = 1
+	cfg.MC.Cores = 1
+	one := New(cfg, secmem.DesignNP())
+	one.SetParallelCores(4)
+	if one.parallelEligible() {
+		t.Fatal("single-core config must fall back to serial")
+	}
+
+	cfg = testConfig()
+	cfg.Levels = []LevelSpec{{Name: "llc", Bytes: 1 << 20, Ways: 8, Lat: 30, Shared: true}}
+	shared := New(cfg, secmem.DesignNP())
+	shared.SetParallelCores(4)
+	if shared.parallelEligible() {
+		t.Fatal("shared-only hierarchy must fall back to serial")
+	}
+}

@@ -177,13 +177,27 @@ type System struct {
 	// private levels are distinct per core, the tail from sharedFrom on is
 	// the same Level values in every chain. Each level's writeback link is
 	// wired to the next; the last level drains into the secure-memory
-	// terminal.
-	chains     [][]memsys.Level
+	// terminal. The chains are held concretely so the step hot path probes
+	// them without interface dispatch; Chain exposes the memsys.Level view.
+	chains     [][]*cache.Level
 	specs      []LevelSpec
 	lats       []uint64 // specs[i].Lat, indexed like chains[c]
 	sharedFrom int
+	// sharedSink is what the last private level drains into: the top
+	// shared level, or the terminal when every level is private. The
+	// batched engine replays deferred shared writebacks into it.
+	sharedSink memsys.Level
 	mc         *secmem.Engine
 	terminal   *secmem.Level
+
+	// plan is the per-design fetch-plan profile, precomputed at New so
+	// planFetch does not re-derive the design/region decision per miss.
+	plan planProfile
+
+	// parallelCores > 1 selects the epoch-barrier parallel engine for
+	// RunContext (see parallel.go); Results stay bit-identical.
+	parallelCores int
+	par           *parEngine
 
 	l1Lat   uint64 // level-0 lookup cost, charged on every access
 	walkLat uint64 // serial cost of the levels below level 0
@@ -241,31 +255,38 @@ func New(cfg Config, design secmem.Design) *System {
 		}
 	}
 
-	newLevel := func(sp LevelSpec, down memsys.Level) memsys.Level {
+	newLevel := func(sp LevelSpec, down memsys.Level) *cache.Level {
 		return cache.NewLevel(cache.New(sp.Name, sp.Bytes, sp.Ways, cache.NewLRU()), sp.Lat, down)
 	}
 
 	// Shared tail, built once.
 	var down memsys.Level = s.terminal
-	shared := make([]memsys.Level, len(s.specs)-s.sharedFrom)
+	shared := make([]*cache.Level, len(s.specs)-s.sharedFrom)
 	for i := len(s.specs) - 1; i >= s.sharedFrom; i-- {
-		down = newLevel(s.specs[i], down)
-		shared[i-s.sharedFrom] = down
+		l := newLevel(s.specs[i], down)
+		shared[i-s.sharedFrom] = l
+		down = l
 	}
 	sharedTop := down
 
 	// Private prefix, per core, linked onto the shared tail.
-	s.chains = make([][]memsys.Level, cfg.Cores)
+	s.chains = make([][]*cache.Level, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
-		chain := make([]memsys.Level, len(s.specs))
+		chain := make([]*cache.Level, len(s.specs))
 		copy(chain[s.sharedFrom:], shared)
 		down := sharedTop
 		for i := s.sharedFrom - 1; i >= 0; i-- {
-			down = newLevel(s.specs[i], down)
-			chain[i] = down
+			l := newLevel(s.specs[i], down)
+			chain[i] = l
+			down = l
 		}
 		s.chains[c] = chain
 	}
+	// What the private prefix drains into: the top shared level, or the
+	// terminal when every level is private (empty shared tail).
+	s.sharedSink = sharedTop
+
+	s.plan = newPlanProfile(cfg, design)
 
 	s.lats = make([]uint64, len(s.specs))
 	for i, sp := range s.specs {
@@ -291,7 +312,27 @@ func (s *System) Faults() *fault.Injector { return s.faults }
 // Chain returns core c's on-chip hierarchy, top (L1) first. Shared levels
 // appear in every core's chain as the same Level value; the secure-memory
 // terminal is not included (see Terminal).
-func (s *System) Chain(c int) []memsys.Level { return s.chains[c] }
+func (s *System) Chain(c int) []memsys.Level {
+	out := make([]memsys.Level, len(s.chains[c]))
+	for i, l := range s.chains[c] {
+		out[i] = l
+	}
+	return out
+}
+
+// SetParallelCores selects the execution engine RunContext uses: n > 1
+// enables the deterministic epoch-barrier parallel engine with up to n
+// worker goroutines (capped at the config's core count); 0 or 1 keeps the
+// serial engine. Results are bit-identical either way — the knob trades
+// wall-clock for CPUs, never semantics — so it is deliberately not part of
+// the runner's spec hash. The parallel engine silently falls back to serial
+// when it cannot preserve bit-identicality or has nothing to parallelise:
+// single-core configs, hierarchies with no private levels, or an attached
+// interval sampler (its cadence observes per-access state).
+func (s *System) SetParallelCores(n int) { s.parallelCores = n }
+
+// ParallelCores reports the configured engine knob (see SetParallelCores).
+func (s *System) ParallelCores() int { return s.parallelCores }
 
 // Terminal returns the secure-memory level the last on-chip level drains
 // into.
@@ -350,20 +391,18 @@ func (s *System) AttachTracer(tr *telemetry.Tracer) {
 }
 
 // AttachPhases enables wall-time attribution during RunContext: decode
-// (generator Next), step (the simulator loop) and report (sampler flush +
-// Results assembly) wall time plus a simulated-access count accumulate into
-// p, which may be shared across systems (campaign-level attribution). The
-// instrumented loop decodes accesses in blocks of phaseBlock and times each
-// block once per phase, so the access order, the Results and the per-step
-// semantics are identical to the unattributed loop while the timing
-// overhead stays at two clock reads per block. Nil (the default) keeps
-// RunContext on the untimed loop.
+// (generator NextBlock), step (the simulator loop) and report (sampler
+// flush + Results assembly) wall time plus a simulated-access count
+// accumulate into p, which may be shared across systems (campaign-level
+// attribution). Both engines time each decode block (serial) or epoch
+// (parallel) once per phase from the driving goroutine — per-core workers
+// never touch the accumulator, so parallel runs merge instead of racing —
+// and the access order, the Results and the per-step semantics are
+// identical to an unattributed run while the timing overhead stays at two
+// clock reads per block. Nil (the default) skips the clock reads.
 func (s *System) AttachPhases(p *telemetry.Phases) { s.phases = p }
 
-// phaseBlock is the decode-ahead block size of the attributed run loop.
-// Workload generators are pure streams (they never observe simulator
-// state), so decoding up to a block ahead of the step loop cannot change
-// the access sequence.
+// phaseBlock is the decode-ahead block size of the serial run loop.
 const phaseBlock = 256
 
 // Trace track ids within one core's lane: the critical-path envelope plus
@@ -378,7 +417,8 @@ const (
 // Step processes one access and returns its critical-path latency: walk the
 // core's level chain until a hit (writebacks cascade inside the levels),
 // and on an all-miss compose the off-chip fetch path and advance the thread
-// clock.
+// clock. The walk runs on concrete *cache.Level values via Probe — no
+// interface dispatch or Request/Response traffic on the hit path.
 func (s *System) Step(a memsys.Access) uint64 {
 	c := int(a.Thread) % s.cfg.Cores
 	if s.faults != nil {
@@ -392,6 +432,7 @@ func (s *System) Step(a memsys.Access) uint64 {
 	}
 	now := s.threadCycles[c]
 	write := a.Type == memsys.Write
+	line := a.Addr.Line()
 	chain := s.chains[c]
 
 	s.accesses++
@@ -401,13 +442,10 @@ func (s *System) Step(a memsys.Access) uint64 {
 		s.reads++
 	}
 
-	req := memsys.Request{Line: a.Addr.Line(), Write: write, Sig: a.Region, Core: c, Now: now}
-
 	// Top level: the only one that sees the store bit.
 	s.demand[0].accesses++
-	r := chain[0].Access(req)
 	lat := s.l1Lat
-	if r.Hit {
+	if chain[0].Probe(line, write, a.Region, c, now) {
 		s.advance(c, write, a.Dep, lat)
 		return lat
 	}
@@ -415,14 +453,13 @@ func (s *System) Step(a memsys.Access) uint64 {
 
 	// Miss at the top: open the fetch plan (location prediction, early
 	// counter issue), then walk the lower levels.
-	plan := s.planFetch(c, now, req.Line, a.Addr)
+	plan := s.planFetch(c, now, line, a.Addr)
 
-	req.Write = false
 	for i := 1; i < len(chain); i++ {
 		s.demand[i].accesses++
-		r = chain[i].Access(req)
+		hit := chain[i].Probe(line, false, a.Region, c, now)
 		lat += s.lats[i]
-		if r.Hit {
+		if hit {
 			s.gradeOnChipHit(plan, now, a.Addr, write, i == len(chain)-1)
 			s.advance(c, write, a.Dep, lat)
 			return lat
@@ -431,7 +468,7 @@ func (s *System) Step(a memsys.Access) uint64 {
 	}
 
 	// Off-chip: resolve the plan into the timed fetch path.
-	path := s.composeFetch(c, now, req.Line, a.Addr, plan)
+	path := s.composeFetch(c, now, line, a.Addr, plan)
 	fetchEnd := path.finish()
 	lat = s.l1Lat + fetchEnd
 	s.offChipReads++
@@ -531,111 +568,94 @@ func (s *System) Run(gen trace.Generator, maxAccesses uint64) Results {
 	return r
 }
 
-// CancelCheckEvery is the cancellation-poll cadence of RunContext: the
-// context is consulted once per this many steps, so a cancellation lands
-// mid-simulation after at most this many additional accesses. A power of
-// two; at ~10M steps/s the poll itself is unmeasurable.
+// CancelCheckEvery bounds the cancellation latency of RunContext: the
+// context is consulted at least once per this many steps (the engines poll
+// per decode block or per epoch, both smaller or equal), so a cancellation
+// lands mid-simulation after at most this many additional accesses.
 const CancelCheckEvery = 4096
 
-// RunContext is Run with cooperative cancellation: the context is checked
-// every CancelCheckEvery steps, and on cancellation the partial Results
-// accumulated so far are returned together with ctx.Err(). A Background
-// (or otherwise non-cancellable) context costs nothing: its nil Done
-// channel skips the poll entirely.
+// RunContext is Run with cooperative cancellation and block decoding:
+// accesses are pulled from the generator a block at a time (through
+// trace.NextBlock, so BlockGenerator implementations decode in bulk) and
+// stepped a block at a time. Workload generators are pure streams — they
+// never observe simulator state — so decoding up to a block ahead cannot
+// change the access sequence. The context is checked once per block, and on
+// cancellation the partial Results accumulated so far are returned together
+// with ctx.Err(); a Background (or otherwise non-cancellable) context costs
+// nothing — its nil Done channel skips the poll entirely.
+//
+// When SetParallelCores enabled the parallel engine (and no sampler is
+// attached), the run is delegated to the epoch-barrier engine in
+// parallel.go; Results are bit-identical either way.
 func (s *System) RunContext(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
-	if s.phases != nil {
-		return s.runAttributed(ctx, gen, maxAccesses)
-	}
 	defer trace.CloseIfCloser(gen)
-	done := ctx.Done()
-	var steps uint64
-	for s.accesses < maxAccesses {
-		a, ok := gen.Next()
-		if !ok {
-			break
-		}
-		s.Step(a)
-		if s.sampler != nil {
-			s.sampler.MaybeSample(s.accesses)
-		}
-		steps++
-		if done != nil && steps&(CancelCheckEvery-1) == 0 {
-			select {
-			case <-done:
-				if s.sampler != nil {
-					s.sampler.Flush(s.accesses)
-				}
-				return s.Results(gen.Name()), ctx.Err()
-			default:
-			}
-		}
+	if s.parallelEligible() {
+		return s.runParallel(ctx, gen, maxAccesses)
 	}
-	if s.sampler != nil {
-		s.sampler.Flush(s.accesses)
-	}
-	return s.Results(gen.Name()), nil
-}
-
-// runAttributed is RunContext with a phase accumulator attached: accesses
-// are decoded a block at a time and stepped a block at a time, with one
-// clock read per phase transition, so decode wall time and step wall time
-// book separately. Stepping order, sampling cadence and cancellation
-// semantics match the untimed loop (cancellation is checked per block,
-// phaseBlock < CancelCheckEvery).
-func (s *System) runAttributed(ctx context.Context, gen trace.Generator, maxAccesses uint64) (Results, error) {
-	defer trace.CloseIfCloser(gen)
 	done := ctx.Done()
+	timed := s.phases != nil
+	var t0, t1 time.Time
 	var buf [phaseBlock]memsys.Access
 	for s.accesses < maxAccesses {
 		want := maxAccesses - s.accesses
 		if want > phaseBlock {
 			want = phaseBlock
 		}
-		t0 := time.Now()
+		if timed {
+			t0 = time.Now()
+		}
 		n := 0
 		for uint64(n) < want {
-			a, ok := gen.Next()
-			if !ok {
+			m := trace.NextBlock(gen, buf[n:want])
+			if m == 0 {
 				break
 			}
-			buf[n] = a
-			n++
+			n += m
 		}
-		t1 := time.Now()
+		if timed {
+			t1 = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			s.Step(buf[i])
 			if s.sampler != nil {
 				s.sampler.MaybeSample(s.accesses)
 			}
 		}
-		t2 := time.Now()
-		s.phases.Add(telemetry.PhaseDecode, t1.Sub(t0))
-		s.phases.Add(telemetry.PhaseStep, t2.Sub(t1))
-		s.phases.AddAccesses(uint64(n))
+		if timed {
+			t2 := time.Now()
+			s.phases.Add(telemetry.PhaseDecode, t1.Sub(t0))
+			s.phases.Add(telemetry.PhaseStep, t2.Sub(t1))
+			s.phases.AddAccesses(uint64(n))
+		}
 		if n == 0 {
 			break
 		}
 		if done != nil {
 			select {
 			case <-done:
-				t0 := time.Now()
-				if s.sampler != nil {
-					s.sampler.Flush(s.accesses)
-				}
-				res := s.Results(gen.Name())
-				s.phases.Add(telemetry.PhaseReport, time.Since(t0))
-				return res, ctx.Err()
+				return s.finishRun(gen.Name()), ctx.Err()
 			default:
 			}
 		}
 	}
-	t0 := time.Now()
+	return s.finishRun(gen.Name()), nil
+}
+
+// finishRun flushes the sampler and assembles Results, booking the wall
+// time as the report phase when attribution is on.
+func (s *System) finishRun(workload string) Results {
+	var t0 time.Time
+	if s.phases != nil {
+		t0 = time.Now()
+	}
 	if s.sampler != nil {
 		s.sampler.Flush(s.accesses)
 	}
-	res := s.Results(gen.Name())
-	s.phases.Add(telemetry.PhaseReport, time.Since(t0))
-	return res, nil
+	res := s.Results(workload)
+	if s.phases != nil {
+		s.phases.Add(telemetry.PhaseReport, time.Since(t0))
+	}
+	return res
 }
 
 // Results snapshots every metric the experiment harness consumes.

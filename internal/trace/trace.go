@@ -20,6 +20,38 @@ type Generator interface {
 	Next() (memsys.Access, bool)
 }
 
+// BlockGenerator is the optional block-decoding extension of Generator.
+// NextBlock fills dst with the next accesses of the stream — exactly the
+// sequence repeated Next calls would produce — and returns how many were
+// written. Short reads (0 < n < len(dst)) are allowed mid-stream; 0 means
+// the stream is exhausted. The simulator's batched engine decodes through
+// this interface; generators that don't implement it fall back to Next via
+// the NextBlock helper.
+type BlockGenerator interface {
+	Generator
+	NextBlock(dst []memsys.Access) int
+}
+
+// NextBlock decodes up to len(dst) accesses from g: the block fast path
+// when g implements BlockGenerator, a per-access Next loop otherwise.
+// Callers must treat a short return like BlockGenerator.NextBlock does —
+// keep calling until 0.
+func NextBlock(g Generator, dst []memsys.Access) int {
+	if bg, ok := g.(BlockGenerator); ok {
+		return bg.NextBlock(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // Closer is implemented by generators that own background resources (the
 // goroutine-backed FromFunc producer). Consumers that stop early should
 // close them.
@@ -56,6 +88,23 @@ func (l *limited) Next() (memsys.Access, bool) {
 		l.left = 0
 	}
 	return a, ok
+}
+
+// NextBlock implements BlockGenerator: the cap is applied to the block size
+// and the wrapped generator decodes the rest.
+func (l *limited) NextBlock(dst []memsys.Access) int {
+	if l.left == 0 {
+		return 0
+	}
+	if uint64(len(dst)) > l.left {
+		dst = dst[:l.left]
+	}
+	n := NextBlock(l.g, dst)
+	l.left -= uint64(n)
+	if n == 0 {
+		l.left = 0
+	}
+	return n
 }
 
 func (l *limited) Close() { CloseIfCloser(l.g) }
@@ -112,6 +161,37 @@ func (iv *Interleave) Next() (memsys.Access, bool) {
 	return memsys.Access{}, false
 }
 
+// NextBlock implements BlockGenerator: each iteration pulls up to the
+// current thread's remaining chunk budget from that thread's stream in one
+// block, stamps the thread id, and rotates — byte-identical to the scalar
+// Next loop, which pulls the same accesses one at a time.
+func (iv *Interleave) NextBlock(dst []memsys.Access) int {
+	n := 0
+	for n < len(dst) && iv.alive > 0 {
+		if iv.done[iv.cur] || iv.curLeft == 0 {
+			iv.cur = (iv.cur + 1) % len(iv.gens)
+			iv.curLeft = iv.chunk
+			continue
+		}
+		want := len(dst) - n
+		if want > iv.curLeft {
+			want = iv.curLeft
+		}
+		m := NextBlock(iv.gens[iv.cur], dst[n:n+want])
+		if m == 0 {
+			iv.done[iv.cur] = true
+			iv.alive--
+			continue
+		}
+		for i := n; i < n+m; i++ {
+			dst[i].Thread = uint8(iv.cur)
+		}
+		iv.curLeft -= m
+		n += m
+	}
+	return n
+}
+
 // Close implements Closer.
 func (iv *Interleave) Close() {
 	for _, g := range iv.gens {
@@ -134,6 +214,7 @@ type funcGen struct {
 	name    string
 	run     func(emit func(memsys.Access))
 	ch      chan []memsys.Access
+	free    chan []memsys.Access // consumed batches recycled to the producer
 	done    chan struct{}
 	started bool
 	buf     []memsys.Access
@@ -150,6 +231,7 @@ type producerCancelled struct{}
 
 func (f *funcGen) start() {
 	f.ch = make(chan []memsys.Access, 4)
+	f.free = make(chan []memsys.Access, 8)
 	f.done = make(chan struct{})
 	f.started = true
 	go func() {
@@ -167,7 +249,14 @@ func (f *funcGen) start() {
 				return
 			}
 			out := batch
-			batch = make([]memsys.Access, 0, producerBatch)
+			// Reuse a batch the consumer has drained; batch buffers are
+			// handed over whole, so a recycled one is never still in use.
+			select {
+			case b := <-f.free:
+				batch = b[:0]
+			default:
+				batch = make([]memsys.Access, 0, producerBatch)
+			}
 			select {
 			case f.ch <- out:
 			case <-f.done:
@@ -193,6 +282,7 @@ func (f *funcGen) Next() (memsys.Access, bool) {
 		f.start()
 	}
 	for f.pos >= len(f.buf) {
+		f.recycle()
 		b, ok := <-f.ch
 		if !ok {
 			f.eof = true
@@ -203,6 +293,42 @@ func (f *funcGen) Next() (memsys.Access, bool) {
 	a := f.buf[f.pos]
 	f.pos++
 	return a, true
+}
+
+// recycle hands the drained batch back to the producer's free list.
+func (f *funcGen) recycle() {
+	if f.buf == nil {
+		return
+	}
+	select {
+	case f.free <- f.buf:
+	default:
+	}
+	f.buf = nil
+}
+
+// NextBlock implements BlockGenerator: it bulk-copies from the producer's
+// current batch, returning a short block at batch boundaries instead of
+// blocking on the channel for more.
+func (f *funcGen) NextBlock(dst []memsys.Access) int {
+	if f.eof {
+		return 0
+	}
+	if !f.started {
+		f.start()
+	}
+	for f.pos >= len(f.buf) {
+		f.recycle()
+		b, ok := <-f.ch
+		if !ok {
+			f.eof = true
+			return 0
+		}
+		f.buf, f.pos = b, 0
+	}
+	n := copy(dst, f.buf[f.pos:])
+	f.pos += n
+	return n
 }
 
 // Close implements Closer: it cancels the producer goroutine.
@@ -253,6 +379,23 @@ func (s *Sequential) Next() (memsys.Access, bool) {
 	return a, true
 }
 
+// NextBlock implements BlockGenerator.
+func (s *Sequential) NextBlock(dst []memsys.Access) int {
+	if s.lines == 0 {
+		return 0
+	}
+	for i := range dst {
+		a := memsys.Access{Addr: s.region.Base + memsys.Addr(s.line*memsys.LineSize), Type: memsys.Read, Region: s.region16}
+		s.n++
+		if s.writeEvery != 0 && s.n%s.writeEvery == 0 {
+			a.Type = memsys.Write
+		}
+		s.line = (s.line + 1) % s.lines
+		dst[i] = a
+	}
+	return len(dst)
+}
+
 // Uniform emits uniformly random lines within a region, endless.
 type Uniform struct {
 	region   memsys.Region
@@ -278,6 +421,19 @@ func (u *Uniform) Next() (memsys.Access, bool) {
 		a.Type = memsys.Write
 	}
 	return a, true
+}
+
+// NextBlock implements BlockGenerator.
+func (u *Uniform) NextBlock(dst []memsys.Access) int {
+	for i := range dst {
+		line := u.rng.Uint64() % u.lines
+		a := memsys.Access{Addr: u.region.Base + memsys.Addr(line*memsys.LineSize), Type: memsys.Read, Region: u.sig}
+		if u.rng.Intn(100) < u.writePct {
+			a.Type = memsys.Write
+		}
+		dst[i] = a
+	}
+	return len(dst)
 }
 
 // Zipf emits lines with a Zipfian popularity distribution (exponent theta),
@@ -336,6 +492,14 @@ func (z *Zipf) Next() (memsys.Access, bool) {
 	return memsys.Access{Addr: z.region.Base + memsys.Addr(line*memsys.LineSize), Type: memsys.Read, Region: z.sig}, true
 }
 
+// NextBlock implements BlockGenerator.
+func (z *Zipf) NextBlock(dst []memsys.Access) int {
+	for i := range dst {
+		dst[i], _ = z.Next()
+	}
+	return len(dst)
+}
+
 // PointerChase emits a dependent chain of loads following a random
 // permutation cycle through the region — the archetypal irregular pattern
 // (mcf-style).
@@ -376,4 +540,15 @@ func (p *PointerChase) Next() (memsys.Access, bool) {
 	a := memsys.Access{Addr: p.region.Base + memsys.Addr(uint64(p.cur)*memsys.LineSize), Type: memsys.Read, Region: p.sig}
 	p.cur = p.next[p.cur]
 	return a, true
+}
+
+// NextBlock implements BlockGenerator.
+func (p *PointerChase) NextBlock(dst []memsys.Access) int {
+	cur := p.cur
+	for i := range dst {
+		dst[i] = memsys.Access{Addr: p.region.Base + memsys.Addr(uint64(cur)*memsys.LineSize), Type: memsys.Read, Region: p.sig}
+		cur = p.next[cur]
+	}
+	p.cur = cur
+	return len(dst)
 }
