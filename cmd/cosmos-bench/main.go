@@ -58,6 +58,7 @@ func run() int {
 		faults   = cliflags.RegisterFault(flag.CommandLine)
 		obsFlags = cliflags.RegisterObs(flag.CommandLine)
 		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
+		policy   = cliflags.RegisterPolicy(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -79,6 +80,19 @@ func run() int {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+	if policy.List {
+		cliflags.ListPolicies(os.Stdout)
+		return 0
+	}
+	if policy.Log != "" {
+		logger.Error("transition logging is per-simulation; record with cosmos-sim -policy-log instead")
+		return 1
+	}
+	dataPolicy, ctrPolicy, err := policy.Specs()
+	if err != nil {
+		logger.Error("policy flags", "err", err)
+		return 1
 	}
 
 	// First SIGINT/SIGTERM cancels the campaign context: in-flight
@@ -163,6 +177,9 @@ func run() int {
 	}
 	if *parCores > 1 {
 		lopts = append(lopts, experiments.WithParallelCores(*parCores))
+	}
+	if dataPolicy != nil || ctrPolicy != nil {
+		lopts = append(lopts, experiments.WithPolicy(dataPolicy, ctrPolicy))
 	}
 	var store *runner.Store
 	if *results != "" {

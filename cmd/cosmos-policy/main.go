@@ -1,0 +1,124 @@
+// Command cosmos-policy is the offline half of the train→freeze→deploy
+// loop: it trains any policy kind on a transition log recorded by
+// cosmos-sim -policy-log, freezes the result into a cosmos-policy-v1 file,
+// and inspects existing policy files.
+//
+//	cosmos-sim -workload mcf -design COSMOS -accesses 2000000 -policy-log mcf.jsonl
+//	cosmos-policy train -log mcf.jsonl -kind perceptron -role ctr -out mcf-ctr.json
+//	cosmos-sim -workload DFS -design COSMOS -policy-frozen mcf-ctr.json
+//	cosmos-policy show mcf-ctr.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cosmos/cmd/internal/cliflags"
+	"cosmos/internal/policytrain"
+	"cosmos/internal/rl"
+	"cosmos/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "train":
+		train(os.Args[2:])
+	case "show":
+		show(os.Args[2:])
+	case "list":
+		cliflags.ListPolicies(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "cosmos-policy: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cosmos-policy train -log <transitions.jsonl> -kind <kind> -role <data|ctr> -out <policy.json> [-epochs N] [-seed N]
+  cosmos-policy show <policy.json>
+  cosmos-policy list`)
+}
+
+func train(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var (
+		logPath = fs.String("log", "", "transition log (JSONL from cosmos-sim -policy-log)")
+		kind    = fs.String("kind", "", "policy kind to train ("+strings.Join(rl.PolicyKinds(), ", ")+")")
+		role    = fs.String("role", "", "predictor role to train for: data | ctr")
+		out     = fs.String("out", "", "output cosmos-policy-v1 file")
+		epochs  = fs.Int("epochs", 1, "training passes over the log")
+		seed    = fs.Uint64("seed", 1, "deterministic initialisation seed")
+		states  = fs.Int("states", 0, "tabular Q-table states (0 = default)")
+	)
+	_ = fs.Parse(args)
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "cosmos-policy:", err)
+		os.Exit(1)
+	}
+	if *logPath == "" || *kind == "" || *role == "" || *out == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	spec := rl.PolicySpec{Kind: *kind, States: *states}
+	if err := spec.Validate(); err != nil {
+		die(err)
+	}
+	p, st, err := policytrain.TrainFromLog(*logPath, spec, *role, *epochs, *seed)
+	if err != nil {
+		die(err)
+	}
+	if err := policytrain.FreezeToFile(*out, p, *role, *logPath, st); err != nil {
+		die(err)
+	}
+	fmt.Printf("trained %s on %d %s transitions (%d epoch(s)): agreement %.1f%%, %d storage bits -> %s\n",
+		*kind, st.Transitions, *role, st.Epochs, st.Agreement*100, p.StorageBits(), *out)
+}
+
+func show(args []string) {
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	sn, err := rl.LoadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-policy:", err)
+		os.Exit(1)
+	}
+	p, err := rl.FromSnapshot(sn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-policy:", err)
+		os.Exit(1)
+	}
+	t := stats.NewTable(args[0], "field", "value")
+	t.Row("version", sn.Version)
+	t.Row("kind", sn.Kind)
+	if sn.Meta.Role != "" {
+		t.Row("role", sn.Meta.Role)
+	}
+	if sn.Meta.TrainedOn != "" {
+		t.Row("trained on", sn.Meta.TrainedOn)
+	}
+	if sn.Meta.Transitions > 0 {
+		t.Row("transitions", sn.Meta.Transitions)
+	}
+	switch sn.Kind {
+	case rl.KindTabular:
+		t.Row("shape", fmt.Sprintf("%d states x %d actions", sn.Meta.States, sn.Meta.Actions))
+		t.Row("alpha/gamma/epsilon", fmt.Sprintf("%g / %g / %g", sn.Meta.Alpha, sn.Meta.Gamma, sn.Meta.Epsilon))
+	case rl.KindPerceptron:
+		t.Row("shape", fmt.Sprintf("%d features x %d buckets, theta %d", sn.Meta.Features, sn.Meta.Buckets, sn.Meta.Theta))
+	case rl.KindMLP:
+		t.Row("shape", fmt.Sprintf("%d inputs x %d hidden", sn.Meta.Inputs, sn.Meta.Hidden))
+	}
+	t.Row("storage bits", p.StorageBits())
+	t.Row("weight bytes", len(sn.Weights))
+	t.Write(os.Stdout)
+}

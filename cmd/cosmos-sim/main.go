@@ -27,6 +27,7 @@ import (
 
 	"cosmos/cmd/internal/cliflags"
 	"cosmos/internal/obs"
+	"cosmos/internal/policytrain"
 	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
@@ -55,6 +56,7 @@ func main() {
 		obsFlags = cliflags.RegisterObs(flag.CommandLine)
 		faults   = cliflags.RegisterFault(flag.CommandLine)
 		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
+		policy   = cliflags.RegisterPolicy(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -63,6 +65,11 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	if policy.List {
+		cliflags.ListPolicies(os.Stdout)
+		return
+	}
 
 	logger, err := obsFlags.Logger("cosmos-sim")
 	if err != nil {
@@ -97,6 +104,9 @@ func main() {
 	cfg.MC.Seed = *seed
 	cfg.MC.Params.Seed = *seed
 	cfg.Fault = faults.Config()
+	if err := policy.Apply(&cfg.MC.Params); err != nil {
+		die("resolve policy", err)
+	}
 	if err := cfg.Validate(); err != nil {
 		die("validate config", err)
 	}
@@ -111,6 +121,25 @@ func main() {
 	s := sim.New(cfg, d)
 	s.SetParallelCores(*parCores)
 	label := *workload + "_" + d.Name
+
+	if policy.Log != "" {
+		lw, err := policytrain.CreateLog(policy.Log)
+		if err != nil {
+			die("create policy log", err)
+		}
+		if dp := s.MC().DataPred; dp != nil {
+			dp.AttachRecorder(lw.Sink(policytrain.RoleData))
+		}
+		if cp := s.MC().CtrPred; cp != nil {
+			cp.AttachRecorder(lw.Sink(policytrain.RoleCtr))
+		}
+		defer func() {
+			if err := lw.Close(); err != nil {
+				die("policy log", err)
+			}
+			logger.Info("policy transition log written", "path", policy.Log, "records", lw.Records)
+		}()
+	}
 
 	// Phase attribution is always on: the attributed run loop costs ~two
 	// clock reads per 256 steps and feeds the wall-time breakdown in the

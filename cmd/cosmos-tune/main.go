@@ -1,10 +1,18 @@
-// Command cosmos-tune reproduces the paper's hyper-parameter and reward
-// search (§4.5): random combinations are evaluated on a captured workload
-// footprint and ranked by the resulting LCR-CTR cache hit rate.
+// Command cosmos-tune searches the policy and parameter space.
 //
-// The paper tests 1,000 hyper-parameter combinations and then 1,000 reward
-// combinations against a Pintool capture of GraphBIG DFS; we sample our own
-// deterministic DFS trace the same way.
+// The default phase is the policy tournament: every candidate policy kind
+// runs every tournament workload through the run orchestrator (memoised,
+// deduplicated, resumable via -results-dir, observable via -listen), and
+// the leaderboard ranks kinds by NP-normalised speedup against their
+// predictor storage cost.
+//
+//	cosmos-tune                              # tabular vs perceptron vs mlp on DFS+mcf
+//	cosmos-tune -kinds perceptron,mlp -workloads DFS,BFS,mcf
+//	cosmos-tune -results-dir runs/ -listen :9090
+//
+// The paper's §4.5 random searches are the other two phases: 1,000
+// hyper-parameter combinations and 1,000 reward combinations evaluated on
+// a captured workload footprint and ranked by LCR-CTR hit rate.
 //
 //	cosmos-tune -phase hyper -trials 100
 //	cosmos-tune -phase rewards -trials 100
@@ -16,7 +24,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,8 +35,10 @@ import (
 	"cosmos/internal/experiments"
 	"cosmos/internal/obs"
 	"cosmos/internal/rl"
+	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
+	"cosmos/internal/stats"
 	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
 	"cosmos/internal/workloads"
@@ -34,16 +46,28 @@ import (
 
 func main() {
 	var (
-		phase    = flag.String("phase", "hyper", "search phase: hyper | rewards")
-		trials   = flag.Int("trials", 100, "random combinations to test (paper: 1000)")
-		accesses = flag.Uint64("accesses", 300_000, "trace length per trial")
-		workload = flag.String("workload", "DFS", "tuning workload (paper: GraphBIG DFS)")
-		seed     = flag.Uint64("seed", 7, "search seed")
-		top      = flag.Int("top", 10, "results to print")
+		phase     = flag.String("phase", "tournament", "search phase: tournament | hyper | rewards")
+		trials    = flag.Int("trials", 100, "random combinations to test in hyper/rewards phases (paper: 1000)")
+		accesses  = flag.Uint64("accesses", 300_000, "trace length per trial")
+		workload  = flag.String("workload", "DFS", "hyper/rewards tuning workload (paper: GraphBIG DFS)")
+		seed      = flag.Uint64("seed", 7, "search seed")
+		top       = flag.Int("top", 10, "results to print in hyper/rewards phases")
+		kindsFlag = flag.String("kinds", strings.Join(rl.PolicyKinds(), ","), "comma-separated policy kinds entering the tournament")
+		wlsFlag   = flag.String("workloads", "DFS,mcf", "comma-separated tournament workloads")
+		scale     = flag.Float64("scale", 0, "tournament workload scale factor (0 = smoke scale)")
+		par       = flag.Int("parallel", runtime.NumCPU(), "concurrent tournament simulations")
+		results   = flag.String("results-dir", "", "persist completed tournament simulations here and resume from it on rerun")
 
+		timeout  = cliflags.RegisterTimeout(flag.CommandLine)
 		obsFlags = cliflags.RegisterObs(flag.CommandLine)
+		listPol  = flag.Bool("list-policies", false, "list the available policy kinds and exit")
 	)
 	flag.Parse()
+
+	if *listPol {
+		cliflags.ListPolicies(os.Stdout)
+		return
+	}
 
 	logger, err := obsFlags.Logger("cosmos-tune")
 	if err != nil {
@@ -55,17 +79,34 @@ func main() {
 		os.Exit(1)
 	}
 
-	// SIGINT/SIGTERM stop the search between (or mid-) trials; the ranking
-	// over the trials completed so far still prints.
-	ctx, stopSignals := cliflags.SignalContext(0)
+	// SIGINT/SIGTERM stop the search between (or mid-) trials; rankings over
+	// the work completed so far still print.
+	ctx, stopSignals := cliflags.SignalContext(*timeout)
 	defer stopSignals()
+
+	switch *phase {
+	case "tournament":
+		code := tournament(ctx, logger.With("phase", "tournament"), tournamentOpts{
+			kinds:     splitList(*kindsFlag),
+			workloads: splitList(*wlsFlag),
+			scale:     *scale,
+			seed:      *seed,
+			parallel:  *par,
+			results:   *results,
+			listen:    obsFlags.Listen,
+		})
+		os.Exit(code)
+	case "hyper", "rewards":
+	default:
+		die("phase", fmt.Errorf("unknown phase %q (valid: tournament, hyper, rewards)", *phase))
+	}
 
 	rng := rl.NewRand(*seed)
 	type result struct {
 		desc    string
 		hitRate float64
 	}
-	var results []result
+	var searchResults []result
 	interrupted := false
 
 	// Search progress for the observability plane (atomics: the serving
@@ -110,12 +151,12 @@ func main() {
 		r, err := s.RunContext(ctx, trace.Limit(gen, *accesses), *accesses)
 		if err != nil {
 			logger.Warn("search interrupted; ranking completed trials",
-				"completed", len(results), "err", err)
+				"completed", len(searchResults), "err", err)
 			interrupted = true
 			return
 		}
 		hit := 1 - r.CtrMissRate
-		results = append(results, result{desc: desc, hitRate: hit})
+		searchResults = append(searchResults, result{desc: desc, hitRate: hit})
 		trialsDone.Add(1)
 		if m := uint64(math.Round(hit * 1000)); m > bestMilli.Load() {
 			bestMilli.Store(m)
@@ -152,16 +193,181 @@ func main() {
 				p.CtrRewards.Hg, p.CtrRewards.Mb, p.CtrRewards.Eb, p.CtrRewards.Hb, p.CtrRewards.Mg, p.CtrRewards.Eg))
 		}
 		evaluate(base, "PAPER: Table 1 rewards")
-	default:
-		die("phase", fmt.Errorf("unknown phase %q", *phase))
 	}
 
-	sort.Slice(results, func(i, j int) bool { return results[i].hitRate > results[j].hitRate })
-	if *top > len(results) {
-		*top = len(results)
+	sort.Slice(searchResults, func(i, j int) bool { return searchResults[i].hitRate > searchResults[j].hitRate })
+	if *top > len(searchResults) {
+		*top = len(searchResults)
 	}
-	fmt.Printf("top %d of %d combinations by LCR-CTR hit rate (%s):\n", *top, len(results), *workload)
+	fmt.Printf("top %d of %d combinations by LCR-CTR hit rate (%s):\n", *top, len(searchResults), *workload)
 	for i := 0; i < *top; i++ {
-		fmt.Printf("%2d. hit=%.3f  %s\n", i+1, results[i].hitRate, results[i].desc)
+		fmt.Printf("%2d. hit=%.3f  %s\n", i+1, searchResults[i].hitRate, searchResults[i].desc)
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+type tournamentOpts struct {
+	kinds     []string
+	workloads []string
+	scale     float64
+	seed      uint64
+	parallel  int
+	results   string
+	listen    string
+}
+
+// tournament races every candidate policy kind over every workload: each
+// candidate gets its own Lab (the policy pair enters each run's content
+// hash), all labs share one result store, and the leaderboard ranks kinds
+// by geometric-mean NP-normalised speedup against storage cost.
+func tournament(ctx context.Context, logger interface {
+	Info(string, ...any)
+	Error(string, ...any)
+}, o tournamentOpts) int {
+	if len(o.kinds) == 0 || len(o.workloads) == 0 {
+		logger.Error("tournament needs at least one kind and one workload")
+		return 1
+	}
+	for _, kind := range o.kinds {
+		if err := (&rl.PolicySpec{Kind: kind}).Validate(); err != nil {
+			logger.Error("candidate", "err", err)
+			return 1
+		}
+	}
+
+	var broker *obs.Broker
+	if o.listen != "" {
+		broker = obs.NewBroker()
+	}
+	table := obs.NewRunTable(o.parallel, broker)
+	var store *runner.Store
+	if o.results != "" {
+		var err error
+		store, err = runner.OpenStore(o.results)
+		if err != nil {
+			logger.Error("open results dir", "err", err)
+			return 1
+		}
+		if n := store.Len(); n > 0 {
+			logger.Info("resuming tournament", "results_dir", store.Dir(), "completed_runs", n)
+		}
+	}
+	if o.listen != "" {
+		reg := telemetry.NewRegistry()
+		srv := obs.NewServer(obs.Config{Component: "cosmos-tune", Registry: reg, Runs: table, Events: broker})
+		if err := srv.Start(o.listen); err != nil {
+			logger.Error("observability plane", "err", err)
+			return 1
+		}
+		logger.Info("observability plane listening", "addr", srv.URL())
+		defer func() {
+			sdCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sdCtx)
+		}()
+	}
+
+	sc := experiments.Scaled(o.scale)
+	sc.Seed = o.seed
+	newLab := func(opts ...experiments.LabOption) *experiments.Lab {
+		opts = append(opts,
+			experiments.WithContext(ctx),
+			experiments.WithWorkers(o.parallel),
+			experiments.WithLifecycle(func(t runner.Transition) {
+				table.Observe(t)
+				if t.Phase == runner.PhaseDone && t.Source == runner.SourceExecuted {
+					done, total, _ := table.Progress()
+					logger.Info("cell done", "cell", t.Label, "done", done, "total", total,
+						"exec_time", t.ExecTime.Round(time.Millisecond))
+				}
+			}),
+		)
+		if store != nil {
+			opts = append(opts, experiments.WithStore(store))
+		}
+		return experiments.NewLab(sc, opts...)
+	}
+
+	// The baseline lab (no policy option) provides NP cycles per workload; it
+	// shares the store, so baselines resume too.
+	baseline := newLab()
+	type cell struct {
+		kind     string
+		workload string
+		speedup  float64
+		ctrMiss  float64
+	}
+	type standing struct {
+		kind    string
+		bits    int
+		geomean float64
+	}
+	var cells []cell
+	var board []standing
+	executed := 0
+	for _, kind := range o.kinds {
+		spec := &rl.PolicySpec{Kind: kind}
+		// Both predictor roles run the candidate kind — the tournament races
+		// whole policy families, not single roles.
+		lab := newLab(experiments.WithPolicy(spec, spec))
+		probe, err := rl.NewPolicy(*spec, o.seed)
+		if err != nil {
+			logger.Error("candidate", "kind", kind, "err", err)
+			return 1
+		}
+		logmean := 0.0
+		for _, wl := range o.workloads {
+			np := baseline.Run(wl, secmem.DesignNP())
+			r := lab.Run(wl, secmem.DesignCosmos())
+			if err := lab.Err(); err != nil {
+				logger.Error("tournament aborted", "kind", kind, "workload", wl, "err", err)
+				return 1
+			}
+			if err := baseline.Err(); err != nil {
+				logger.Error("tournament aborted", "workload", wl, "err", err)
+				return 1
+			}
+			speedup := 0.0
+			if r.Cycles > 0 {
+				speedup = float64(np.Cycles) / float64(r.Cycles)
+			}
+			cells = append(cells, cell{kind: kind, workload: wl, speedup: speedup, ctrMiss: r.CtrMissRate})
+			logmean += math.Log(math.Max(speedup, 1e-12))
+		}
+		st := lab.Orchestrator().Stats()
+		executed += int(st.Executed)
+		board = append(board, standing{
+			kind:    kind,
+			bits:    probe.StorageBits(),
+			geomean: math.Exp(logmean / float64(len(o.workloads))),
+		})
+	}
+
+	t := stats.NewTable(fmt.Sprintf("policy tournament: %d kinds x %d workloads (COSMOS vs NP, both roles)",
+		len(o.kinds), len(o.workloads)), "kind", "workload", "perf-vs-NP", "ctr-miss")
+	for _, c := range cells {
+		t.Row(c.kind, c.workload, fmt.Sprintf("%.3f", c.speedup), stats.Pct(c.ctrMiss))
+	}
+	t.Write(os.Stdout)
+
+	sort.Slice(board, func(i, j int) bool { return board[i].geomean > board[j].geomean })
+	lb := stats.NewTable("leaderboard: storage bits vs geomean speedup", "rank", "kind", "storage-bits", "geomean-perf")
+	for i, s := range board {
+		lb.Row(i+1, s.kind, s.bits, fmt.Sprintf("%.3f", s.geomean))
+	}
+	lb.Write(os.Stdout)
+
+	bst := baseline.Orchestrator().Stats()
+	executed += int(bst.Executed)
+	fmt.Printf("executed %d simulations this invocation (rest restored from the results dir or memoised)\n", executed)
+	return 0
 }

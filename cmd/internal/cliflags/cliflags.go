@@ -1,6 +1,7 @@
 // Package cliflags centralises the flag sets every cosmos command used to
 // copy-paste: the observability plane trio (-listen, -log-format,
 // -log-level), the deterministic fault plane (-fault-*, -crash-*), the
+// learned-policy zoo (-policy, -policy-frozen, -list-policies), the
 // campaign timeout and the parallel-engine knob (-parallel-cores). Each
 // Register* call adds one group to a FlagSet; a command picks exactly the
 // groups it supports, so flag names, defaults and help text stay identical
@@ -10,14 +11,20 @@ package cliflags
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cosmos/internal/core"
 	"cosmos/internal/fault"
 	"cosmos/internal/obs"
+	"cosmos/internal/policytrain"
+	"cosmos/internal/rl"
 )
 
 // Obs holds the observability-plane flags shared by every command.
@@ -75,6 +82,112 @@ func (f *Fault) Config() *fault.Config {
 		Seed: f.Seed, Rate: f.Rate, Kinds: f.Kinds,
 		CrashAt: f.CrashAt, CrashDropRL: f.CrashDropRL,
 	}
+}
+
+// Policy holds the learned-policy zoo flags.
+type Policy struct {
+	Kind   string
+	Frozen string
+	Role   string
+	Log    string
+	List   bool
+}
+
+// RegisterPolicy adds the -policy* flags and -list-policies to fs.
+func RegisterPolicy(fs *flag.FlagSet) *Policy {
+	p := &Policy{}
+	fs.StringVar(&p.Kind, "policy", "",
+		"predictor policy kind ("+strings.Join(rl.PolicyKinds(), ", ")+"; empty = the design's tabular default)")
+	fs.StringVar(&p.Frozen, "policy-frozen", "",
+		"deploy a frozen cosmos-policy-v1 file (predictor role read from the file; override with -policy-role)")
+	fs.StringVar(&p.Role, "policy-role", "both",
+		"predictor role the -policy/-policy-frozen selection applies to: data | ctr | both")
+	fs.StringVar(&p.Log, "policy-log", "",
+		"dump every predictor transition as JSONL to this file (training data for cosmos-policy)")
+	fs.BoolVar(&p.List, "list-policies", false, "list the available policy kinds and exit")
+	return p
+}
+
+// ListPolicies writes the -list-policies table.
+func ListPolicies(w io.Writer) {
+	fmt.Fprintln(w, "available policy kinds:")
+	for _, d := range rl.PolicyKindDescriptions() {
+		fmt.Fprintf(w, "  %-11s %s\n", d.Kind, d.Desc)
+	}
+}
+
+// Apply resolves the parsed policy flags into the Params' per-role policy
+// specs. An unknown kind or role, an unreadable frozen file, or a frozen
+// file without a resolvable role all return errors naming the valid
+// choices. No flags set leaves the Params untouched, so the nil-spec
+// hash-stability guarantee holds for every policy-free invocation.
+func (p *Policy) Apply(params *core.Params) error {
+	data, ctr, err := p.Specs()
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		params.DataPolicy = data
+	}
+	if ctr != nil {
+		params.CtrPolicy = ctr
+	}
+	return nil
+}
+
+// Specs resolves the parsed policy flags into per-role policy specs (nil =
+// that role keeps the design default) — the form experiments.WithPolicy
+// consumes. Errors mirror Apply's.
+func (p *Policy) Specs() (data, ctr *rl.PolicySpec, err error) {
+	roles, err := p.roles()
+	if err != nil {
+		return nil, nil, err
+	}
+	var byRole [2]*rl.PolicySpec
+	if p.Kind != "" {
+		spec := &rl.PolicySpec{Kind: p.Kind}
+		if err := spec.Validate(); err != nil {
+			return nil, nil, err
+		}
+		for _, role := range roles {
+			byRole[roleIndex(role)] = spec
+		}
+	}
+	if p.Frozen != "" {
+		sn, err := rl.LoadSnapshot(p.Frozen)
+		if err != nil {
+			return nil, nil, err
+		}
+		role := sn.Meta.Role
+		if p.Role != "both" {
+			role = p.Role
+		}
+		if role == "" {
+			return nil, nil, fmt.Errorf("cliflags: %s carries no predictor role; pass -policy-role (data | ctr)", p.Frozen)
+		}
+		if err := policytrain.ValidateRole(role); err != nil {
+			return nil, nil, err
+		}
+		byRole[roleIndex(role)] = &rl.PolicySpec{Kind: sn.Kind, Frozen: &sn}
+	}
+	return byRole[0], byRole[1], nil
+}
+
+func (p *Policy) roles() ([]string, error) {
+	switch p.Role {
+	case "both":
+		return policytrain.Roles(), nil
+	case policytrain.RoleData, policytrain.RoleCtr:
+		return []string{p.Role}, nil
+	}
+	return nil, fmt.Errorf("cliflags: unknown policy role %q (valid: data, ctr, both)", p.Role)
+}
+
+func roleIndex(role string) int {
+	if role == policytrain.RoleData {
+		return 0
+	}
+	return 1
 }
 
 // RegisterTimeout adds the -timeout flag to fs.

@@ -47,7 +47,7 @@ func TestRegistriesNonEmpty(t *testing.T) {
 	if len(Designs()) != 8 {
 		t.Fatalf("designs: %v", Designs())
 	}
-	if len(Experiments()) != 26 {
+	if len(Experiments()) != 27 {
 		t.Fatalf("experiments: %v", Experiments())
 	}
 }

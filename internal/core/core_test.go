@@ -169,7 +169,7 @@ func TestDataPredictorLearnsStablePattern(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		region := rng.Intn(2)
 		s := rl.HashState(addrOf(region), 16384)
-		a, _ := dp2.agent.Table.Best(s)
+		a, _ := dp2.Table().Best(s)
 		if (a == ActionOffChip) == (region == 1) {
 			correct++
 		}
@@ -237,7 +237,7 @@ func TestLocalityPredictorLearnsHotVsCold(t *testing.T) {
 			coldNext += 100 // outside any window, never repeats
 		}
 	}
-	table := lp.agent.Table
+	table := lp.Table()
 	for _, h := range hot {
 		s := rl.HashState(h<<6, table.States())
 		if a, _ := table.Best(s); a != ActionGoodLocality {

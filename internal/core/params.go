@@ -6,6 +6,12 @@
 // the secure-memory controller wiring lives in internal/secmem.
 package core
 
+import (
+	"fmt"
+
+	"cosmos/internal/rl"
+)
+
 // DataRewards are the four rewards of the data location predictor (§4.1.2):
 // rows are the actual location, columns the prediction.
 type DataRewards struct {
@@ -33,7 +39,8 @@ type Hyper struct {
 }
 
 // Params bundles everything Table 1 specifies plus the structure sizes of
-// Table 2.
+// Table 2, and optionally swaps either predictor's decision engine for a
+// non-default rl.Policy.
 type Params struct {
 	Data        Hyper
 	Ctr         Hyper
@@ -47,6 +54,26 @@ type Params struct {
 	CETWindow uint64
 
 	Seed uint64
+
+	// DataPolicy and CtrPolicy select non-default policies for the data
+	// location and CTR locality predictors. nil means the paper's tabular
+	// Q-learning built from the fields above — and, being omitempty
+	// pointers, the nil case is invisible to JSON hashing, so every
+	// pre-policy runner spec key survives unchanged.
+	DataPolicy *rl.PolicySpec `json:",omitempty"`
+	CtrPolicy  *rl.PolicySpec `json:",omitempty"`
+}
+
+// Validate rejects parameter sets the predictors cannot be built from —
+// today that means invalid policy specs (unknown kinds, bad shapes).
+func (p *Params) Validate() error {
+	if err := p.DataPolicy.Validate(); err != nil {
+		return fmt.Errorf("core: data policy: %w", err)
+	}
+	if err := p.CtrPolicy.Validate(); err != nil {
+		return fmt.Errorf("core: ctr policy: %w", err)
+	}
+	return nil
 }
 
 // DefaultParams returns the tuned values of Table 1 with the structure

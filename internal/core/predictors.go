@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cosmos/internal/rl"
 	"cosmos/internal/telemetry"
 )
@@ -19,8 +21,11 @@ const (
 // DataPredictor is the RL-based data location predictor (Algorithm 3): on
 // every L1 miss it predicts whether the line is on-chip (L2/LLC) or
 // off-chip (DRAM), enabling early CTR access for off-chip predictions.
+//
+// The decision engine is any rl.Policy — tabular Q-learning by default
+// (the paper's design), or a perceptron/MLP selected via Params.DataPolicy.
 type DataPredictor struct {
-	agent   *rl.Agent
+	policy  rl.Policy
 	rewards DataRewards
 
 	Stats DataStats
@@ -48,33 +53,68 @@ func (s DataStats) Accuracy() float64 {
 	return float64(s.PredOnCorrect+s.PredOffCorrect) / float64(t)
 }
 
-// NewDataPredictor builds the predictor from the parameter set.
+// NewDataPredictor builds the predictor from the parameter set: the tabular
+// default when p.DataPolicy is nil, otherwise the policy the spec selects.
 func NewDataPredictor(p Params) *DataPredictor {
-	table := rl.NewQTable(p.QStates, 2)
 	return &DataPredictor{
-		agent:   rl.NewAgent(table, p.Data.Alpha, p.Data.Gamma, p.Data.Epsilon, p.Seed^0xDA7A),
+		policy:  buildPolicy(p.DataPolicy, p, p.Data, p.Seed^0xDA7A),
 		rewards: p.DataRewards,
 	}
 }
 
-// Prediction carries the state/action pair so the outcome can be graded
-// later (decision and training run as parallel processes, §4.4).
+// buildPolicy materialises a predictor's policy. A nil spec reproduces the
+// historical construction exactly (same table size, hyper-parameters, and
+// seed stream). A non-nil spec inherits the surrounding Params as defaults
+// for unset tabular fields, then goes through rl.NewPolicy; the spec was
+// validated on the config path, so a failure here is a programming error
+// and panics like the cache-policy registry does.
+func buildPolicy(spec *rl.PolicySpec, p Params, h Hyper, seed uint64) rl.Policy {
+	if spec == nil {
+		return rl.NewAgent(rl.NewQTable(p.QStates, 2), h.Alpha, h.Gamma, h.Epsilon, seed)
+	}
+	sp := *spec
+	if sp.Frozen == nil && (sp.Kind == rl.KindTabular || sp.Kind == "") {
+		if sp.Kind == "" {
+			sp.Kind = rl.KindTabular
+		}
+		if sp.States == 0 {
+			sp.States = p.QStates
+		}
+		if sp.Alpha == 0 {
+			sp.Alpha = h.Alpha
+		}
+		if sp.Gamma == 0 {
+			sp.Gamma = h.Gamma
+		}
+		if sp.Epsilon == 0 {
+			sp.Epsilon = h.Epsilon
+		}
+	}
+	pol, err := rl.NewPolicy(sp, seed)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid policy spec: %v", err))
+	}
+	return pol
+}
+
+// Prediction carries the key and state/action pair so the outcome can be
+// graded later (decision and training run as parallel processes, §4.4).
 type Prediction struct {
+	Key     uint64
 	State   int
 	Action  int
 	OffChip bool
 }
 
-// Predict hashes the missing line's address into a state and selects the
-// ε-greedy action (Algorithm 3 lines 2-3).
+// Predict derives the missing line's state and selects the policy's action
+// (Algorithm 3 lines 2-3).
 func (p *DataPredictor) Predict(addr uint64) Prediction {
-	s := rl.HashState(addr, p.agent.Table.States())
-	a := p.agent.Act(s)
-	return Prediction{State: s, Action: a, OffChip: a == ActionOffChip}
+	d := p.policy.Act(addr)
+	return Prediction{Key: addr, State: d.State, Action: d.Action, OffChip: d.Action == ActionOffChip}
 }
 
 // Learn grades the prediction against the actual data location and applies
-// the Q update (Algorithm 3 lines 8-20). It returns the reward assigned.
+// the policy update (Algorithm 3 lines 8-20). It returns the reward assigned.
 func (p *DataPredictor) Learn(pred Prediction, actualOffChip bool) float64 {
 	var r float64
 	switch {
@@ -91,24 +131,25 @@ func (p *DataPredictor) Learn(pred Prediction, actualOffChip bool) float64 {
 		r = p.rewards.Mi
 		p.Stats.PredOnWrong++
 	}
-	// Bootstrap on the actual location's Q-value in the same state
+	// Bootstrap on the actual location's value in the same state
 	// (Algorithm 3 lines 19-20).
 	actual := ActionOnChip
 	if actualOffChip {
 		actual = ActionOffChip
 	}
-	next := p.agent.Table.Q(pred.State, actual)
-	p.agent.Learn(pred.State, pred.Action, r, next)
+	next := p.policy.Value(pred.Key, pred.State, actual)
+	p.policy.Learn(rl.Transition{Key: pred.Key, State: pred.State, Action: pred.Action, Reward: r, Next: next})
 	return r
 }
 
-// ExplorationRate reports the observed ε-greedy exploration fraction.
-func (p *DataPredictor) ExplorationRate() float64 { return p.agent.ExplorationRate() }
+// ExplorationRate reports the observed exploration fraction (0 for the
+// deterministic policy kinds).
+func (p *DataPredictor) ExplorationRate() float64 { return p.policy.ExplorationRate() }
 
 // RegisterMetrics registers the prediction quadrant counters, per-interval
-// accuracy/precision/recall (off-chip = positive class), and the agent's
-// exploration and Q-coverage metrics — the time-resolved view of the Fig 12
-// study and of RL convergence.
+// accuracy/precision/recall (off-chip = positive class), and the policy's
+// own metrics — the time-resolved view of the Fig 12 study and of RL
+// convergence.
 func (p *DataPredictor) RegisterMetrics(s *telemetry.Scope) {
 	st := &p.Stats
 	s.Counter("pred_on_correct", &st.PredOnCorrect)
@@ -124,22 +165,39 @@ func (p *DataPredictor) RegisterMetrics(s *telemetry.Scope) {
 	s.Rate("off_recall",
 		func() uint64 { return st.PredOffCorrect },
 		func() uint64 { return st.PredOffCorrect + st.PredOnWrong })
-	p.agent.RegisterMetrics(s.Scope("agent"))
+	p.policy.RegisterMetrics(s.Scope("agent"))
 }
 
-// Table exposes the Q-table (for quantization studies and tests).
-func (p *DataPredictor) Table() *rl.QTable { return p.agent.Table }
+// Policy exposes the underlying decision engine (for freezing, snapshots,
+// and the offline training loop).
+func (p *DataPredictor) Policy() rl.Policy { return p.policy }
 
-// Reset discards the learned Q-table (crash model: the predictor's SRAM
-// state is volatile and not checkpointed). Statistics are kept — they
-// describe the run, not the hardware.
-func (p *DataPredictor) Reset() { p.agent.Table.Reset() }
+// AttachRecorder tees every future Learn transition to sink — the hook the
+// transition-log dump and in-process trainers use.
+func (p *DataPredictor) AttachRecorder(sink func(rl.Transition)) {
+	p.policy = rl.WithRecorder(p.policy, sink)
+}
+
+// Table exposes the Q-table when the policy is tabular (for quantization
+// studies and tests); nil for other policy kinds.
+func (p *DataPredictor) Table() *rl.QTable {
+	if ag, ok := p.policy.(*rl.Agent); ok {
+		return ag.Table
+	}
+	return nil
+}
+
+// Reset discards the learned policy state (crash model: the predictor's
+// SRAM state is volatile and not checkpointed; frozen policies model ROM
+// and survive). Statistics are kept — they describe the run, not the
+// hardware.
+func (p *DataPredictor) Reset() { p.policy.Reset() }
 
 // LocalityPredictor is the RL-based CTR locality predictor (Algorithm 1):
 // on every CTR access it classifies the counter block as good or bad
 // locality; the CET grades those classifications over a temporal window.
 type LocalityPredictor struct {
-	agent   *rl.Agent
+	policy  rl.Policy
 	cet     *CET
 	rewards CtrRewards
 
@@ -164,11 +222,11 @@ func (s CtrStats) GoodFraction() float64 {
 	return float64(s.PredGood) / float64(t)
 }
 
-// NewLocalityPredictor builds the predictor with its CET.
+// NewLocalityPredictor builds the predictor with its CET: tabular by
+// default, or the policy Params.CtrPolicy selects.
 func NewLocalityPredictor(p Params) *LocalityPredictor {
-	table := rl.NewQTable(p.QStates, 2)
 	return &LocalityPredictor{
-		agent:   rl.NewAgent(table, p.Ctr.Alpha, p.Ctr.Gamma, p.Ctr.Epsilon, p.Seed^0xC7C7),
+		policy:  buildPolicy(p.CtrPolicy, p, p.Ctr, p.Seed^0xC7C7),
 		cet:     NewCET(p.CETEntries, p.CETWindow),
 		rewards: p.CtrRewards,
 	}
@@ -177,17 +235,32 @@ func NewLocalityPredictor(p Params) *LocalityPredictor {
 // CET exposes the evaluation table (for the Fig 9 sweep).
 func (p *LocalityPredictor) CET() *CET { return p.cet }
 
-// Reset discards the learned Q-table and the CET contents (crash model:
-// both live in volatile SRAM). Statistics are kept.
+// Policy exposes the underlying decision engine.
+func (p *LocalityPredictor) Policy() rl.Policy { return p.policy }
+
+// AttachRecorder tees every future Learn transition to sink.
+func (p *LocalityPredictor) AttachRecorder(sink func(rl.Transition)) {
+	p.policy = rl.WithRecorder(p.policy, sink)
+}
+
+// Table exposes the Q-table when the policy is tabular; nil otherwise.
+func (p *LocalityPredictor) Table() *rl.QTable {
+	if ag, ok := p.policy.(*rl.Agent); ok {
+		return ag.Table
+	}
+	return nil
+}
+
+// Reset discards the learned policy state and the CET contents (crash
+// model: both live in volatile SRAM). Statistics are kept.
 func (p *LocalityPredictor) Reset() {
-	p.agent.Table.Reset()
+	p.policy.Reset()
 	p.cet.Clear()
 }
 
 // RegisterMetrics registers the locality classification counters, the
-// per-interval good-locality share and CET hit rate, and the agent's
-// exploration and Q-coverage metrics — the time-resolved view of the Fig 13
-// study.
+// per-interval good-locality share and CET hit rate, and the policy's own
+// metrics — the time-resolved view of the Fig 13 study.
 func (p *LocalityPredictor) RegisterMetrics(s *telemetry.Scope) {
 	st := &p.Stats
 	s.Counter("pred_good", &st.PredGood)
@@ -201,7 +274,7 @@ func (p *LocalityPredictor) RegisterMetrics(s *telemetry.Scope) {
 	s.Rate("cet_hit_rate",
 		func() uint64 { return st.CETHits },
 		func() uint64 { return st.CETHits + st.CETMisses })
-	p.agent.RegisterMetrics(s.Scope("agent"))
+	p.policy.RegisterMetrics(s.Scope("agent"))
 }
 
 // Classification is the predictor's output for one CTR access: the
@@ -213,12 +286,12 @@ type Classification struct {
 }
 
 // Observe runs Algorithm 1 for one CTR access, identified by its counter
-// block index: decide, grade against the CET, update the Q-table, insert
+// block index: decide, grade against the CET, update the policy, insert
 // into the CET, and process any CET eviction.
 func (p *LocalityPredictor) Observe(ctrBlock uint64) Classification {
-	table := p.agent.Table
-	s := rl.HashState(ctrBlock<<6, table.States())
-	a := p.agent.Act(s)
+	key := ctrBlock << 6
+	d := p.policy.Act(key)
+	s, a := d.State, d.Action
 	good := a == ActionGoodLocality
 	if good {
 		p.Stats.PredGood++
@@ -247,9 +320,9 @@ func (p *LocalityPredictor) Observe(ctrBlock uint64) Classification {
 	// Bootstrap on the CET head (lines 16-17).
 	var next float64
 	if head, ok := p.cet.Head(); ok {
-		next = table.Q(head.State, head.Action)
+		next = p.policy.Value(head.Block<<6, head.State, head.Action)
 	}
-	p.agent.Learn(s, a, r, next)
+	p.policy.Learn(rl.Transition{Key: key, State: s, Action: a, Reward: r, Next: next})
 
 	// Insert and settle any eviction (lines 18-23).
 	if ev, evicted := p.cet.Insert(ctrBlock, s, a); evicted {
@@ -260,8 +333,8 @@ func (p *LocalityPredictor) Observe(ctrBlock uint64) Classification {
 		} else {
 			re = p.rewards.Eb
 		}
-		p.agent.Learn(ev.State, ev.Action, re, next)
+		p.policy.Learn(rl.Transition{Key: ev.Block << 6, State: ev.State, Action: ev.Action, Reward: re, Next: next})
 	}
 
-	return Classification{Good: good, Score: table.Score(s, a)}
+	return Classification{Good: good, Score: p.policy.Score(key, s, a)}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"cosmos/internal/fault"
+	"cosmos/internal/rl"
 	"cosmos/internal/runner"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
@@ -105,6 +106,9 @@ type Lab struct {
 	orch  *runner.Orchestrator
 	fault *fault.Config
 
+	dataPolicy *rl.PolicySpec
+	ctrPolicy  *rl.PolicySpec
+
 	mu  sync.Mutex
 	err error
 }
@@ -120,6 +124,8 @@ type labOptions struct {
 	lifecycle     func(runner.Transition)
 	fault         *fault.Config
 	parallelCores int
+	dataPolicy    *rl.PolicySpec
+	ctrPolicy     *rl.PolicySpec
 }
 
 // WithContext binds every simulation the lab runs to ctx: on cancellation
@@ -161,6 +167,19 @@ func WithFaults(fc *fault.Config) LabOption {
 	return func(o *labOptions) { o.fault = fc }
 }
 
+// WithPolicy swaps the predictors' decision engines for every simulation
+// the lab runs: data/ctr select the data-location and CTR-locality policy
+// (nil keeps the design's tabular default for that role). Policy-carrying
+// runs hash differently from default runs — they are different machines —
+// so stores keep both side by side; a lab with both policies nil produces
+// byte-identical spec hashes to a lab without this option.
+func WithPolicy(data, ctr *rl.PolicySpec) LabOption {
+	return func(o *labOptions) {
+		o.dataPolicy = data
+		o.ctrPolicy = ctr
+	}
+}
+
 // WithParallelCores runs every simulation on the deterministic epoch-barrier
 // parallel engine with up to n worker goroutines (n > 1; see
 // sim.System.SetParallelCores). Results are bit-identical to serial runs, so
@@ -176,7 +195,7 @@ func NewLab(sc Scale, opts ...LabOption) *Lab {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	l := &Lab{Scale: sc, ctx: o.ctx, fault: o.fault}
+	l := &Lab{Scale: sc, ctx: o.ctx, fault: o.fault, dataPolicy: o.dataPolicy, ctrPolicy: o.ctrPolicy}
 	l.orch = runner.New(runner.Options{Workers: o.workers, Store: o.store, ParallelCores: o.parallelCores})
 	l.orch.Observer = o.observer
 	l.orch.Lifecycle = o.lifecycle
@@ -239,7 +258,7 @@ func (l *Lab) spec(workload string, design secmem.Design, opt runOpts) runner.Sp
 	if opt.ctrPf != "" {
 		design.CtrPrefetcher = opt.ctrPf
 	}
-	return runner.Spec{
+	spec := runner.Spec{
 		Workload:    workload,
 		Design:      design,
 		Cores:       opt.cores,
@@ -249,6 +268,49 @@ func (l *Lab) spec(workload string, design secmem.Design, opt runOpts) runner.Sp
 		Seed:        l.Scale.Seed,
 		Fault:       l.fault,
 	}
+	if l.dataPolicy != nil || l.ctrPolicy != nil {
+		spec = l.withPolicies(spec, l.dataPolicy, l.ctrPolicy)
+	}
+	return spec
+}
+
+// withPolicies rewrites a spec to carry explicit policy selections: the
+// machine configuration the runner would derive implicitly is materialised
+// (so the policies have a Params to live in) and the label records the
+// policy kinds. Leaving both policies nil would still change the hash —
+// Config non-nil is a different spec — which is why spec() only calls this
+// when a policy is actually set.
+func (l *Lab) withPolicies(spec runner.Spec, data, ctr *rl.PolicySpec) runner.Spec {
+	var cfg sim.Config
+	if spec.Cores == 8 {
+		cfg = sim.EightCore()
+	} else {
+		cfg = sim.DefaultConfig()
+		cfg.Cores = spec.Cores
+	}
+	cfg.MC.Seed = spec.Seed
+	cfg.MC.Params.Seed = spec.Seed
+	cfg.MC.Params.DataPolicy = data
+	cfg.MC.Params.CtrPolicy = ctr
+	spec.Config = &cfg
+	spec.Label = spec.Workload + "_" + spec.Design.Name + "_pol-" + policyTag(data, ctr)
+	return spec
+}
+
+// policyTag summarises a policy pair for labels: kind names, "frozen:<kind>"
+// for frozen deployments, "-" for a defaulted role.
+func policyTag(data, ctr *rl.PolicySpec) string {
+	one := func(sp *rl.PolicySpec) string {
+		switch {
+		case sp == nil:
+			return "-"
+		case sp.Frozen != nil:
+			return "frozen." + sp.Frozen.Kind
+		default:
+			return sp.Kind
+		}
+	}
+	return one(data) + "." + one(ctr)
 }
 
 // runSpec executes (or recalls) one simulation through the orchestrator.
@@ -368,6 +430,7 @@ func All() []Experiment {
 		{"abl-hyper", "Ablation: hyper-parameter sensitivity around Table 1", AblHyper},
 		{"tab-power", "Area and power accounting (§4.6)", TabPower},
 		{"ext-epc", "Extension: SGXv1-style secure-region sweep", ExtEPC},
+		{"policy-matrix", "Policy zoo: train-on-A / serve-on-B generalization matrix", PolicyMatrix},
 	}
 }
 

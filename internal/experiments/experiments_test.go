@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab2", "tab3", "tab4", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17",
 		"abl-layout", "abl-traversal", "abl-lcr", "abl-quant", "abl-mee", "abl-hyper",
-		"tab-power", "ext-epc"}
+		"tab-power", "ext-epc", "policy-matrix"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(all), len(want))

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyMatrixSmoke exercises the full train→freeze→deploy matrix at a
+// tiny scale: it must run clean and produce one row per (train, serve) pair.
+func TestPolicyMatrixSmoke(t *testing.T) {
+	sc := Scale{GraphNodes: 50000, GraphDegree: 8, Accesses: 120000, Seed: 42}
+	l := NewLab(sc)
+	e, err := ByID("policy-matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(tab.CSV()), "\n")
+	if want := len(policyMatrixWorkloads) * len(policyMatrixWorkloads); lines != want {
+		t.Errorf("matrix has %d rows, want %d", lines, want)
+	}
+	tab.Write(testWriter{t})
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) { w.t.Log(string(p)); return len(p), nil }

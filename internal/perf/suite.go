@@ -11,6 +11,7 @@ import (
 
 	"cosmos/internal/experiments"
 	"cosmos/internal/memsys"
+	"cosmos/internal/rl"
 	"cosmos/internal/secmem"
 	"cosmos/internal/sim"
 	"cosmos/internal/telemetry"
@@ -160,6 +161,27 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 		})
 	}
 
+	// Step latency under the non-default policy kinds, COSMOS only (the
+	// only design running both predictors): tabular is the step.COSMOS
+	// figure above, so these isolate what swapping the decision engine
+	// costs on the hot path.
+	for _, kind := range []string{rl.KindPerceptron, rl.KindMLP} {
+		kind := kind
+		label := "step.COSMOS.policy=" + kind
+		cfg.logf("warming %s (%d steps)", label, cfg.WarmSteps)
+		s, gen := warmedPolicySystem(kind, cfg.WarmSteps)
+		benches = append(benches, benchmark{
+			label:   label,
+			names:   []string{label + ".ns_per_op", label + ".allocs_per_op"},
+			units:   []string{"ns/op", "allocs/op"},
+			betters: []string{BetterLower, BetterLower},
+			run: func(context.Context) ([]float64, error) {
+				ns, allocs := measureSteps(s, gen, cfg.StepOps)
+				return []float64{ns, allocs}, nil
+			},
+		})
+	}
+
 	// Trace-file decode throughput: a frozen access stream read back
 	// through the CTRC parser, the ingest path of replayed captures.
 	tmp, err := os.MkdirTemp("", "cosmos-perf-")
@@ -300,6 +322,22 @@ func applyHandicap(v float64, unit string, h float64) float64 {
 // timed steps measure pure steady-state work.
 func warmedSystem(d secmem.Design, warmSteps int) (*sim.System, trace.Generator) {
 	s := sim.New(sim.DefaultConfig(), d)
+	gen := trace.NewUniform(memsys.Region{Base: 0, Size: 32 << 20, Elem: 1}, 20, 3, 1)
+	for i := 0; i < warmSteps; i++ {
+		a, _ := gen.Next()
+		s.Step(a)
+	}
+	return s, gen
+}
+
+// warmedPolicySystem is warmedSystem with both predictor roles running the
+// given online policy kind on the COSMOS design.
+func warmedPolicySystem(kind string, warmSteps int) (*sim.System, trace.Generator) {
+	cfg := sim.DefaultConfig()
+	spec := &rl.PolicySpec{Kind: kind}
+	cfg.MC.Params.DataPolicy = spec
+	cfg.MC.Params.CtrPolicy = spec
+	s := sim.New(cfg, secmem.DesignCosmos())
 	gen := trace.NewUniform(memsys.Region{Base: 0, Size: 32 << 20, Elem: 1}, 20, 3, 1)
 	for i := 0; i < warmSteps; i++ {
 		a, _ := gen.Next()

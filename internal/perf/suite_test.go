@@ -33,6 +33,8 @@ func TestRunSuiteSmoke(t *testing.T) {
 		"step.NP.ns_per_op", "step.NP.allocs_per_op",
 		"step.MorphCtr.ns_per_op", "step.MorphCtr.allocs_per_op",
 		"step.COSMOS.ns_per_op", "step.COSMOS.allocs_per_op",
+		"step.COSMOS.policy=perceptron.ns_per_op", "step.COSMOS.policy=perceptron.allocs_per_op",
+		"step.COSMOS.policy=mlp.ns_per_op", "step.COSMOS.policy=mlp.allocs_per_op",
 		"decode.tracefile.accesses_per_sec",
 		"engine.serial.accesses_per_sec",
 		"engine.parallel.accesses_per_sec",
@@ -56,7 +58,7 @@ func TestRunSuiteSmoke(t *testing.T) {
 	}
 	// Steady-state Step must not allocate; the suite must agree with the
 	// zero-alloc guard tests.
-	for _, d := range []string{"NP", "MorphCtr", "COSMOS"} {
+	for _, d := range []string{"NP", "MorphCtr", "COSMOS", "COSMOS.policy=perceptron", "COSMOS.policy=mlp"} {
 		m := r.Metric("step." + d + ".allocs_per_op")
 		if med := Median(m.Samples); med != 0 {
 			t.Fatalf("step.%s allocates: %v allocs/op", d, med)

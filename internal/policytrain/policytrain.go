@@ -1,0 +1,234 @@
+// Package policytrain closes the train→freeze→deploy loop: it replays
+// transition logs recorded by a live simulation (cosmos-sim -policy-log)
+// through any rl.Policy, producing frozen cosmos-policy-v1 files that a
+// later run deploys via a PolicySpec. Because training happens offline, a
+// cheap policy can be distilled from an expensive exploration run — and the
+// train-on-A/serve-on-B generalization matrices fall out for free.
+package policytrain
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"cosmos/internal/rl"
+)
+
+// Roles a transition log distinguishes: the data location predictor
+// (Algorithm 3) and the CTR locality predictor (Algorithm 1).
+const (
+	RoleData = "data"
+	RoleCtr  = "ctr"
+)
+
+// Roles lists the valid predictor roles.
+func Roles() []string { return []string{RoleData, RoleCtr} }
+
+// ValidateRole rejects unknown role names with the valid list (same UX as
+// the design/workload/policy registries).
+func ValidateRole(role string) error {
+	for _, r := range Roles() {
+		if role == r {
+			return nil
+		}
+	}
+	return fmt.Errorf("policytrain: unknown role %q (valid: %s)", role, strings.Join(Roles(), ", "))
+}
+
+// Record is one logged transition, tagged with the predictor role that
+// produced it. The log is JSONL: one Record per line, in emission order —
+// order matters for online learners, so both writer and reader preserve it.
+type Record struct {
+	Role string `json:"role"`
+	rl.Transition
+}
+
+// LogWriter streams Records to JSONL. It is safe for use from the single
+// simulation goroutine; Sink closures can be attached to both predictors at
+// once (the engine serialises accesses, and parallel-core mode is rejected
+// by the CLI when logging, so no interleaving hazard exists — the mutex is
+// belt-and-braces for library users).
+type LogWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+
+	Records uint64
+}
+
+// NewLogWriter wraps w; if w is also an io.Closer, Close closes it.
+func NewLogWriter(w io.Writer) *LogWriter {
+	lw := &LogWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		lw.c = c
+	}
+	return lw
+}
+
+// CreateLog creates path and returns a writer over it.
+func CreateLog(path string) (*LogWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("policytrain: create log: %w", err)
+	}
+	return NewLogWriter(f), nil
+}
+
+// Write appends one record.
+func (lw *LogWriter) Write(rec Record) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		lw.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := lw.bw.Write(b); err != nil {
+		lw.err = err
+		return
+	}
+	lw.Records++
+}
+
+// Sink returns a recorder sink (for core.*.AttachRecorder) that tags every
+// transition with role.
+func (lw *LogWriter) Sink(role string) func(rl.Transition) {
+	return func(t rl.Transition) {
+		lw.Write(Record{Role: role, Transition: t})
+	}
+}
+
+// Close flushes and closes the underlying writer, reporting the first error
+// seen anywhere in the stream.
+func (lw *LogWriter) Close() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if err := lw.bw.Flush(); err != nil && lw.err == nil {
+		lw.err = err
+	}
+	if lw.c != nil {
+		if err := lw.c.Close(); err != nil && lw.err == nil {
+			lw.err = err
+		}
+	}
+	return lw.err
+}
+
+// ReadLog parses a JSONL transition log, keeping only records for role
+// (empty role keeps everything). Unparseable lines are an error — a
+// truncated final line is reported, not silently dropped.
+func ReadLog(r io.Reader, role string) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("policytrain: log line %d: %w", line, err)
+		}
+		if role != "" && rec.Role != role {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policytrain: read log: %w", err)
+	}
+	return recs, nil
+}
+
+// ReadLogFile reads a log from disk.
+func ReadLogFile(path, role string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("policytrain: open log: %w", err)
+	}
+	defer f.Close()
+	return ReadLog(f, role)
+}
+
+// Stats summarises a training run.
+type Stats struct {
+	Transitions int     `json:"transitions"` // records replayed per epoch
+	Epochs      int     `json:"epochs"`
+	Agreement   float64 `json:"agreement"` // post-training action agreement with reward-implied targets
+}
+
+// Train replays recs through p for the given number of epochs (min 1), then
+// measures agreement: the fraction of transitions whose greedy post-training
+// action matches the reward-implied target (the taken action if rewarded,
+// its complement if punished). The policy is NOT frozen — callers freeze
+// when they deploy.
+func Train(p rl.Policy, recs []Record, epochs int) Stats {
+	if epochs < 1 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		for _, rec := range recs {
+			p.Learn(rec.Transition)
+		}
+	}
+	agree := 0
+	for _, rec := range recs {
+		want := rec.Action
+		if rec.Reward < 0 {
+			want = 1 - want
+		}
+		if p.Act(rec.Key).Action == want {
+			agree++
+		}
+	}
+	st := Stats{Transitions: len(recs), Epochs: epochs}
+	if len(recs) > 0 {
+		st.Agreement = float64(agree) / float64(len(recs))
+	}
+	return st
+}
+
+// TrainFromLog builds the policy a spec describes, trains it on the log's
+// records for the given role, and returns the trained (unfrozen) policy
+// with its stats. The snapshot a caller saves afterwards should carry the
+// role (rl.SavePolicy does this).
+func TrainFromLog(logPath string, spec rl.PolicySpec, role string, epochs int, seed uint64) (rl.Policy, Stats, error) {
+	if err := ValidateRole(role); err != nil {
+		return nil, Stats{}, err
+	}
+	recs, err := ReadLogFile(logPath, role)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if len(recs) == 0 {
+		return nil, Stats{}, fmt.Errorf("policytrain: log %s has no %q transitions", logPath, role)
+	}
+	p, err := rl.NewPolicy(spec, seed)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Train(p, recs, epochs)
+	return p, st, nil
+}
+
+// FreezeToFile stamps provenance into the policy's snapshot and writes it
+// as a cosmos-policy-v1 file.
+func FreezeToFile(path string, p rl.Policy, role, trainedOn string, st Stats) error {
+	sn := p.Snapshot()
+	sn.Meta.Role = role
+	sn.Meta.TrainedOn = trainedOn
+	sn.Meta.Transitions = st.Transitions * st.Epochs
+	return rl.SaveSnapshot(path, sn)
+}

@@ -1,0 +1,170 @@
+package rl
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// SnapshotVersion is the on-disk policy format identifier. The loader
+// rejects any other value, so the format can evolve without silently
+// misreading old files.
+const SnapshotVersion = "cosmos-policy-v1"
+
+// Snapshot is the serialised form of a Policy: a versioned header, the kind
+// and its shape/hyper-parameters, and the weights as one little-endian byte
+// stream (float64 per value for tabular, int16 for perceptron and MLP —
+// each kind documents its own layout). JSON encodes Weights as base64,
+// which keeps the files greppable headers-first while the bulk stays
+// compact.
+type Snapshot struct {
+	Version string       `json:"version"`
+	Kind    string       `json:"kind"`
+	Meta    SnapshotMeta `json:"meta"`
+	Weights []byte       `json:"weights"`
+}
+
+// SnapshotMeta carries the kind-specific shape and hyper-parameters, plus
+// provenance the trainer stamps so a deploy step can route the file without
+// out-of-band knowledge.
+type SnapshotMeta struct {
+	// Tabular shape and TD hyper-parameters.
+	States  int     `json:"states,omitempty"`
+	Actions int     `json:"actions,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Gamma   float64 `json:"gamma,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+
+	// Perceptron shape.
+	Features int `json:"features,omitempty"`
+	Buckets  int `json:"buckets,omitempty"`
+	Theta    int `json:"theta,omitempty"`
+
+	// MLP shape.
+	Inputs int    `json:"inputs,omitempty"`
+	Hidden int    `json:"hidden,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+
+	// Role records which predictor the policy was trained for: "data"
+	// (Algorithm 3 location predictor) or "ctr" (Algorithm 1 locality
+	// predictor). Empty means unspecified.
+	Role string `json:"role,omitempty"`
+
+	// Trainer provenance (informational).
+	TrainedOn   string `json:"trained_on,omitempty"`
+	Transitions int    `json:"transitions,omitempty"`
+}
+
+// validate checks the snapshot header without interpreting weights; the
+// kind-specific Restore validates shapes and lengths.
+func (sn *Snapshot) validate() error {
+	if sn.Version != SnapshotVersion {
+		return fmt.Errorf("rl: unsupported policy file version %q (want %s)", sn.Version, SnapshotVersion)
+	}
+	switch sn.Kind {
+	case KindTabular, KindPerceptron, KindMLP:
+		return nil
+	}
+	return fmt.Errorf("rl: unknown policy kind %q (valid: %s)",
+		sn.Kind, strings.Join(PolicyKinds(), ", "))
+}
+
+// FromSnapshot constructs a fresh policy of the snapshot's kind and restores
+// the snapshot into it. The result is NOT frozen; callers deploying frozen
+// weights (NewPolicy with Frozen, the CLIs) freeze it themselves.
+func FromSnapshot(sn Snapshot) (Policy, error) {
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	var p Policy
+	switch sn.Kind {
+	case KindTabular:
+		p = NewAgent(NewQTable(16384, 2), 0, 0, 0, 0)
+	case KindPerceptron:
+		p = NewPerceptron(0, 0, 0)
+	case KindMLP:
+		p = NewMLP(0, 0, 0)
+	}
+	if err := p.Restore(sn); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SavePolicy writes a policy's snapshot to path as indented cosmos-policy-v1
+// JSON. role, if non-empty, is stamped into the snapshot's Meta.Role.
+func SavePolicy(path string, p Policy, role string) error {
+	sn := p.Snapshot()
+	if role != "" {
+		sn.Meta.Role = role
+	}
+	return SaveSnapshot(path, sn)
+}
+
+// SaveSnapshot writes a snapshot to path.
+func SaveSnapshot(path string, sn Snapshot) error {
+	b, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		return fmt.Errorf("rl: encode policy file: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("rl: write policy file: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and validates a cosmos-policy-v1 file's header. It
+// never panics on malformed input: corrupt JSON, wrong versions, unknown
+// kinds, and truncated weight streams all surface as errors (the latter
+// from the kind's Restore when the snapshot is instantiated).
+func LoadSnapshot(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("rl: read policy file: %w", err)
+	}
+	return DecodeSnapshot(b)
+}
+
+// DecodeSnapshot parses cosmos-policy-v1 JSON bytes and validates the header.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var sn Snapshot
+	if err := json.Unmarshal(b, &sn); err != nil {
+		return Snapshot{}, fmt.Errorf("rl: parse policy file: %w", err)
+	}
+	if err := sn.validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return sn, nil
+}
+
+// LoadPolicy reads a policy file and instantiates its kind with the saved
+// weights. The result is not frozen.
+func LoadPolicy(path string) (Policy, error) {
+	sn, err := LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(sn)
+}
+
+// Little-endian weight-stream helpers shared by the policy kinds.
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func float64At(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func appendInt16(b []byte, v int16) []byte {
+	return binary.LittleEndian.AppendUint16(b, uint16(v))
+}
+
+func int16At(b []byte, i int) int16 {
+	return int16(binary.LittleEndian.Uint16(b[i*2:]))
+}

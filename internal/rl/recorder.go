@@ -1,0 +1,23 @@
+package rl
+
+// Recorder decorates a Policy, teeing every Learn transition to a sink
+// before forwarding it. It is how the sim side dumps transition logs for
+// the offline trainer (internal/policytrain) without the predictors knowing
+// logging exists — attach a Recorder, run, detach.
+type Recorder struct {
+	Policy
+	Sink func(Transition)
+}
+
+// WithRecorder wraps p so every transition also reaches sink.
+func WithRecorder(p Policy, sink func(Transition)) *Recorder {
+	return &Recorder{Policy: p, Sink: sink}
+}
+
+// Learn tees the transition to the sink, then forwards it.
+func (r *Recorder) Learn(t Transition) {
+	if r.Sink != nil {
+		r.Sink(t)
+	}
+	r.Policy.Learn(t)
+}

@@ -152,7 +152,7 @@ func TestAgentEpsilonGreedy(t *testing.T) {
 	tb.SetQ(0, 1, 50) // greedy action is 1
 	ag := NewAgent(tb, 0.1, 0.9, 0.0, 1)
 	for i := 0; i < 100; i++ {
-		if ag.Act(0) != 1 {
+		if ag.ActState(0) != 1 {
 			t.Fatal("ε=0 agent must always act greedily")
 		}
 	}
@@ -163,7 +163,7 @@ func TestAgentEpsilonGreedy(t *testing.T) {
 	agExplore := NewAgent(tb, 0.1, 0.9, 1.0, 2)
 	zeros := 0
 	for i := 0; i < 1000; i++ {
-		if agExplore.Act(0) == 0 {
+		if agExplore.ActState(0) == 0 {
 			zeros++
 		}
 	}
@@ -179,7 +179,7 @@ func TestAgentExplorationRateMatchesEpsilon(t *testing.T) {
 	tb := NewQTable(2, 2)
 	ag := NewAgent(tb, 0.1, 0.9, 0.1, 3)
 	for i := 0; i < 20000; i++ {
-		ag.Act(0)
+		ag.ActState(0)
 	}
 	r := ag.ExplorationRate()
 	if r < 0.08 || r > 0.12 {
@@ -194,13 +194,13 @@ func TestAgentLearnsBinaryTask(t *testing.T) {
 	rng := NewRand(99)
 	for i := 0; i < 50000; i++ {
 		s := rng.Intn(64)
-		a := ag.Act(s)
+		a := ag.ActState(s)
 		want := s & 1
 		r := -10.0
 		if a == want {
 			r = 10
 		}
-		ag.Learn(s, a, r, 0)
+		ag.Learn(Transition{State: s, Action: a, Reward: r})
 	}
 	correct := 0
 	for s := 0; s < 64; s++ {

@@ -292,9 +292,11 @@ func (o *Orchestrator) RegisterMetrics(scope *telemetry.Scope) {
 // process can resume without re-simulating. On cancellation the error wraps
 // ctx.Err(), so errors.Is(err, context.Canceled) works.
 func (o *Orchestrator) Run(ctx context.Context, spec Spec) (sim.Results, error) {
+	// Label must be read before normalizing — normalized() clears it (it is
+	// display-only and must stay out of the hash).
+	label := spec.DisplayLabel()
 	spec = spec.normalized()
 	key := spec.Key()
-	label := spec.DisplayLabel()
 
 	o.mu.Lock()
 	if r, ok := o.memo[key]; ok {

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"testing"
+
+	"cosmos/internal/rl"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+)
+
+// The store keys below were captured before the policy-zoo refactor. They
+// must never change for specs that don't use policies: every campaign
+// result persisted under runs/<key>.json would otherwise be silently
+// recomputed. If one of these fails, a schema change leaked into the
+// canonical encoding — make the new field omitempty (or bump hashVersion
+// deliberately and accept the store invalidation).
+func TestSpecKeyStability(t *testing.T) {
+	plain := Spec{
+		Workload:   "DFS",
+		Design:     secmem.DesignCosmos(),
+		Accesses:   300000,
+		GraphNodes: 300000,
+		Seed:       42,
+	}
+	if got, want := plain.Key(), "4a8e342aa57a63bb5629b084c76d40617caee148ac7ed7829c4dcf26452520d1"; got != want {
+		t.Errorf("plain spec key drifted:\n got %s\nwant %s", got, want)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.MC.Seed = 42
+	cfg.MC.Params.Seed = 42
+	withCfg := Spec{
+		Workload: "mcf",
+		Design:   secmem.DesignMorph(),
+		Accesses: 100000,
+		Seed:     42,
+		Config:   &cfg,
+	}
+	if got, want := withCfg.Key(), "e715ad375968e86b941224029c7bd7b770862715cfae6b82b1aa64e48bd94268"; got != want {
+		t.Errorf("config spec key drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// A policy spec must change the key (different machine, different run)…
+	polCfg := cfg
+	polCfg.MC.Params.CtrPolicy = &rl.PolicySpec{Kind: rl.KindPerceptron}
+	withPol := withCfg
+	withPol.Config = &polCfg
+	if withPol.Key() == withCfg.Key() {
+		t.Error("policy spec did not enter the hash")
+	}
+	// …and an explicitly nil policy must not (omitempty keeps it invisible).
+	nilPol := cfg
+	nilPol.MC.Params.CtrPolicy = nil
+	withNil := withCfg
+	withNil.Config = &nilPol
+	if withNil.Key() != withCfg.Key() {
+		t.Error("nil policy changed the hash — omitempty broken")
+	}
+}

@@ -186,6 +186,9 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cosmos/internal/rl"
+	"cosmos/internal/secmem"
+	"cosmos/internal/trace"
+	"cosmos/internal/workloads"
+)
+
+// policyRun executes one COSMOS simulation with the given policy pair on
+// both predictor roles, optionally on the parallel engine.
+func policyRun(t *testing.T, data, ctr *rl.PolicySpec, parallelCores int) Results {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MC.Seed = 42
+	cfg.MC.Params.Seed = 42
+	cfg.MC.Params.DataPolicy = data
+	cfg.MC.Params.CtrPolicy = ctr
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workloads.Build("DFS", workloads.Options{
+		Threads: 4, Seed: 42, GraphNodes: 60000, GraphDegree: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg, secmem.DesignCosmos())
+	if parallelCores > 1 {
+		s.SetParallelCores(parallelCores)
+	}
+	return s.Run(trace.Limit(gen, 150000), 150000)
+}
+
+// frozenSpec trains nothing: a freshly initialised policy frozen as-is is
+// enough to pin the deploy path — determinism must not depend on what the
+// weights are.
+func frozenSpec(t *testing.T, kind string, seed uint64) *rl.PolicySpec {
+	t.Helper()
+	p, err := rl.NewPolicy(rl.PolicySpec{Kind: kind}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := p.Snapshot()
+	return &rl.PolicySpec{Kind: kind, Frozen: &sn}
+}
+
+// TestFrozenPolicyDeterminism pins the policy zoo's core deployment
+// guarantee: a frozen perceptron/MLP pair produces bit-identical Results
+// across repeated runs and across serial vs epoch-barrier parallel engines
+// at any worker count (the -parallel-cores contract extends to every
+// policy kind, not just the tabular default).
+func TestFrozenPolicyDeterminism(t *testing.T) {
+	for _, kind := range []string{rl.KindPerceptron, rl.KindMLP} {
+		t.Run(kind, func(t *testing.T) {
+			data := frozenSpec(t, kind, 7)
+			ctr := frozenSpec(t, kind, 8)
+			base := policyRun(t, data, ctr, 0)
+			if again := policyRun(t, data, ctr, 0); !reflect.DeepEqual(again, base) {
+				t.Errorf("frozen %s drifted across serial runs:\n  %+v\nvs\n  %+v", kind, base, again)
+			}
+			for _, cores := range []int{2, 4} {
+				if par := policyRun(t, data, ctr, cores); !reflect.DeepEqual(par, base) {
+					t.Errorf("frozen %s differs on parallel engine (%d workers):\n  %+v\nvs\n  %+v",
+						kind, cores, base, par)
+				}
+			}
+		})
+	}
+}
+
+// TestOnlinePolicyDeterminism covers the learning (unfrozen) perceptron and
+// MLP: both are exploration-free deterministic learners, so repeated runs
+// must also be bit-identical — seed-sensitivity is confined to the tabular
+// kind's ε-greedy stream.
+func TestOnlinePolicyDeterminism(t *testing.T) {
+	for _, kind := range []string{rl.KindPerceptron, rl.KindMLP} {
+		t.Run(kind, func(t *testing.T) {
+			spec := &rl.PolicySpec{Kind: kind}
+			base := policyRun(t, spec, spec, 0)
+			if again := policyRun(t, spec, spec, 0); !reflect.DeepEqual(again, base) {
+				t.Errorf("online %s drifted across runs", kind)
+			}
+			if par := policyRun(t, spec, spec, 4); !reflect.DeepEqual(par, base) {
+				t.Errorf("online %s differs on parallel engine", kind)
+			}
+		})
+	}
+}
