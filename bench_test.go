@@ -225,6 +225,9 @@ func TestStepZeroAllocsTelemetryDisabled(t *testing.T) {
 // non-COSMOS paths: the baseline walk (NP), the serialised secure path
 // (MorphCtr) and the always-early counter path (EMCC) must not allocate
 // either — the Request/Response/fetchPath plumbing is all value-typed.
+// The systems run with no span recorder attached (the default), so this is
+// also the spans-disabled contract: every span site must stay behind a nil
+// check and cost zero allocations when tracing is off.
 func TestStepZeroAllocsAcrossDesigns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc measurement needs the full warmup")

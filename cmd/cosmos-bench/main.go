@@ -37,6 +37,7 @@ import (
 	"cosmos/internal/runner"
 	"cosmos/internal/sim"
 	"cosmos/internal/telemetry"
+	"cosmos/internal/watch"
 )
 
 func main() {
@@ -54,11 +55,12 @@ func run() int {
 		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
 
-		timeout  = cliflags.RegisterTimeout(flag.CommandLine)
-		faults   = cliflags.RegisterFault(flag.CommandLine)
-		obsFlags = cliflags.RegisterObs(flag.CommandLine)
-		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
-		policy   = cliflags.RegisterPolicy(flag.CommandLine)
+		timeout   = cliflags.RegisterTimeout(flag.CommandLine)
+		faults    = cliflags.RegisterFault(flag.CommandLine)
+		obsFlags  = cliflags.RegisterObs(flag.CommandLine)
+		parCores  = cliflags.RegisterParallelCores(flag.CommandLine)
+		policy    = cliflags.RegisterPolicy(flag.CommandLine)
+		spanFlags = cliflags.RegisterSpans(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -195,7 +197,21 @@ func run() int {
 	}
 	lab := experiments.NewLab(experiments.Scaled(*scale), lopts...)
 	lab.Orchestrator().Phases = phases
-	lab.Instrument = instrumentHook(logger, *statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit, broker)
+
+	// With the plane up, per-run span recorders and watchdogs register into
+	// hubs so /spans and /phases carry every executing cell.
+	var spanHub *obs.SpanHub
+	var watchHub *obs.WatchHub
+	if obsFlags.Listen != "" {
+		if spanFlags.Enabled() {
+			spanHub = obs.NewSpanHub()
+		}
+		if spanFlags.Watch {
+			watchHub = obs.NewWatchHub()
+		}
+	}
+	lab.Instrument = instrumentHook(logger, *statsOut, *statsIvl, *statsCSV, *traceOut, *traceLimit,
+		broker, spanFlags, spanHub, watchHub)
 
 	if obsFlags.Listen != "" {
 		reg := telemetry.NewRegistry()
@@ -206,6 +222,8 @@ func run() int {
 			Registry:  reg,
 			Runs:      table,
 			Events:    broker,
+			Spans:     spanHub,
+			Watch:     watchHub,
 			Logger:    logger,
 		})
 		if err := srv.Start(obsFlags.Listen); err != nil {
@@ -314,12 +332,15 @@ func run() int {
 }
 
 // instrumentHook builds the Lab.Instrument callback attaching telemetry to
-// every simulation the lab executes: file sinks for -stats-out/-trace-out
-// and, when the observability plane is up, a sampler feeding each run's
-// interval snapshots into the /events stream. Returns nil when nothing is
-// enabled, keeping the uninstrumented path identical to before.
-func instrumentHook(logger *slog.Logger, statsDir string, interval uint64, statsCSV bool, traceDir string, traceLimit int, broker *obs.Broker) func(string, *sim.System) func() {
-	if statsDir == "" && traceDir == "" && broker == nil {
+// every simulation the lab executes: file sinks for -stats-out/-trace-out,
+// a sampler feeding each run's interval snapshots into the /events stream
+// when the observability plane is up, a span recorder per run when
+// -span-sample is set, and an online watchdog per run when -watch is set.
+// Returns nil when nothing is enabled, keeping the uninstrumented path
+// identical to before.
+func instrumentHook(logger *slog.Logger, statsDir string, interval uint64, statsCSV bool, traceDir string, traceLimit int,
+	broker *obs.Broker, spans *cliflags.Spans, spanHub *obs.SpanHub, watchHub *obs.WatchHub) func(string, *sim.System) func() {
+	if statsDir == "" && traceDir == "" && broker == nil && !spans.Enabled() && !spans.Watch {
 		return nil
 	}
 	fatal := func(msg string, err error) {
@@ -339,11 +360,31 @@ func instrumentHook(logger *slog.Logger, statsDir string, interval uint64, stats
 		if in := s.Faults(); in != nil && broker != nil {
 			in.Notify = broker.FaultNotifier(label)
 		}
+		if rec := spans.Recorder(); rec != nil {
+			s.AttachSpans(rec)
+			rec.RegisterMetrics(reg.Root().Scope("span"))
+			if spanHub != nil {
+				spanHub.Register(label, rec)
+			}
+		}
+		var dog *watch.Dog
+		if spans.Watch {
+			dog = watch.New(reg, watch.Config{
+				Notify: obs.WatchNotifier(logger, broker, label),
+			})
+			dog.RegisterMetrics(reg.Root().Scope("watch"))
+			if watchHub != nil {
+				watchHub.Register(label, dog)
+			}
+		}
 
 		var cleanups []func()
-		if statsDir != "" || broker != nil {
+		if statsDir != "" || broker != nil || dog != nil {
 			var cfg telemetry.SamplerConfig
 			cfg.Interval = interval
+			if dog != nil {
+				cfg.Observer = dog.ObserveRow
+			}
 			var f *os.File
 			if statsDir != "" {
 				ext := ".jsonl"

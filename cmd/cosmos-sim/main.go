@@ -7,11 +7,20 @@
 //	cosmos-sim -workload DFS -design COSMOS -accesses 2000000
 //	cosmos-sim -workload mcf -design MorphCtr -accesses 1000000 -cores 8
 //	cosmos-sim -workload DFS -design COSMOS -listen localhost:9090
+//	cosmos-sim -workload mcf,DFS -design COSMOS -span-sample 64 -watch -listen :0
 //
 // With -listen the simulation serves its live observability plane while it
 // runs: /metrics exposes the full telemetry registry of the system in
 // Prometheus text format, /events streams interval-sampler snapshots, and
 // /debug/pprof profiles the simulator itself.
+//
+// -span-sample enables access-level span tracing: per-cause latency
+// histograms feed tail percentiles (p50/p95/p99/p999) into the results and
+// a deterministic 1-in-N access subset gets a full span tree, the slowest
+// exemplars served on /spans. -watch runs the online watchdog over the
+// interval-sampler stream and flags phase changes and anomalies as
+// events, metrics and /phases segments. A comma-separated -workload chains
+// workloads back to back — the canonical phase-change input.
 package main
 
 import (
@@ -34,8 +43,34 @@ import (
 	"cosmos/internal/stats"
 	"cosmos/internal/telemetry"
 	"cosmos/internal/trace"
+	"cosmos/internal/watch"
 	"cosmos/internal/workloads"
 )
+
+// buildWorkloads resolves the -workload flag: a single name builds that
+// workload, a comma-separated list chains the named workloads back to back
+// with trace.Concat, splitting the access budget evenly (the last phase
+// takes the remainder).
+func buildWorkloads(spec string, accesses uint64, opts workloads.Options) (trace.Generator, error) {
+	names := strings.Split(spec, ",")
+	if len(names) == 1 {
+		return workloads.Build(spec, opts)
+	}
+	per := accesses / uint64(len(names))
+	parts := make([]trace.Generator, len(names))
+	for i, name := range names {
+		g, err := workloads.Build(strings.TrimSpace(name), opts)
+		if err != nil {
+			return nil, err
+		}
+		limit := per
+		if i == len(names)-1 {
+			limit = accesses - per*uint64(len(names)-1)
+		}
+		parts[i] = trace.Limit(g, limit)
+	}
+	return trace.Concat(spec, parts...), nil
+}
 
 func main() {
 	var (
@@ -52,11 +87,12 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit the raw Results struct as JSON (for scripting)")
 
-		timeout  = cliflags.RegisterTimeout(flag.CommandLine)
-		obsFlags = cliflags.RegisterObs(flag.CommandLine)
-		faults   = cliflags.RegisterFault(flag.CommandLine)
-		parCores = cliflags.RegisterParallelCores(flag.CommandLine)
-		policy   = cliflags.RegisterPolicy(flag.CommandLine)
+		timeout   = cliflags.RegisterTimeout(flag.CommandLine)
+		obsFlags  = cliflags.RegisterObs(flag.CommandLine)
+		faults    = cliflags.RegisterFault(flag.CommandLine)
+		parCores  = cliflags.RegisterParallelCores(flag.CommandLine)
+		policy    = cliflags.RegisterPolicy(flag.CommandLine)
+		spanFlags = cliflags.RegisterSpans(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write a per-interval metric time-series to this file (.csv = CSV, else JSONL)")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -111,7 +147,11 @@ func main() {
 		die("validate config", err)
 	}
 
-	gen, err := workloads.Build(*workload, workloads.Options{
+	// A comma-separated -workload runs the named workloads back to back as
+	// phases of one access stream (the -accesses budget split evenly, the
+	// last phase taking the remainder) — the shape the watchdog detects as
+	// a phase change.
+	gen, err := buildWorkloads(*workload, *accesses, workloads.Options{
 		Threads: *cores, Seed: *seed, GraphNodes: *nodes, GraphDegree: *degree,
 	})
 	if err != nil {
@@ -121,6 +161,11 @@ func main() {
 	s := sim.New(cfg, d)
 	s.SetParallelCores(*parCores)
 	label := *workload + "_" + d.Name
+
+	spanRec := spanFlags.Recorder()
+	if spanRec != nil {
+		s.AttachSpans(spanRec)
+	}
 
 	if policy.Log != "" {
 		lw, err := policytrain.CreateLog(policy.Log)
@@ -157,11 +202,24 @@ func main() {
 		}
 	}
 
-	if *statsOut != "" || *traceOut != "" || obsFlags.Listen != "" {
+	if *statsOut != "" || *traceOut != "" || obsFlags.Listen != "" || spanFlags.Watch || spanRec != nil {
 		reg := telemetry.NewRegistry()
 		s.RegisterMetrics(reg.Root())
 		phases.RegisterMetrics(reg.Root().Scope("perf"))
+		if spanRec != nil {
+			spanRec.RegisterMetrics(reg.Root().Scope("span"))
+		}
 		sinks := telemetry.SamplerConfig{Interval: *statsIvl}
+		var dog *watch.Dog
+		if spanFlags.Watch {
+			// The watchdog consumes the sampler's interval rows in process;
+			// -watch therefore forces a sampler even with no file sink.
+			dog = watch.New(reg, watch.Config{
+				Notify: obs.WatchNotifier(logger, broker, label),
+			})
+			dog.RegisterMetrics(reg.Root().Scope("watch"))
+			sinks.Observer = dog.ObserveRow
+		}
 		if *statsOut != "" {
 			f, err := os.Create(*statsOut)
 			if err != nil {
@@ -182,7 +240,7 @@ func main() {
 				sinks.JSONL = bw
 			}
 		}
-		if sinks.JSONL != nil || sinks.CSV != nil {
+		if sinks.JSONL != nil || sinks.CSV != nil || sinks.Observer != nil {
 			sp, err := telemetry.NewSampler(reg, sinks)
 			if err != nil {
 				die("build sampler", err)
@@ -212,11 +270,23 @@ func main() {
 			}()
 		}
 		if obsFlags.Listen != "" {
+			var spanHub *obs.SpanHub
+			if spanRec != nil {
+				spanHub = obs.NewSpanHub()
+				spanHub.Register(label, spanRec)
+			}
+			var watchHub *obs.WatchHub
+			if dog != nil {
+				watchHub = obs.NewWatchHub()
+				watchHub.Register(label, dog)
+			}
 			srv := obs.NewServer(obs.Config{
 				Component: "cosmos-sim",
 				Registry:  reg,
 				Runs:      table,
 				Events:    broker,
+				Spans:     spanHub,
+				Watch:     watchHub,
 				Logger:    logger,
 			})
 			if err := srv.Start(obsFlags.Listen); err != nil {
@@ -300,6 +370,14 @@ func printResults(r sim.Results, wall time.Duration, pb telemetry.PhaseBreakdown
 	t.Row("walk bypasses", r.Bypassed)
 	t.Row("bypass rate", stats.Pct(r.BypassRate))
 	t.Row("avg fetch latency", r.AvgFetchLat)
+	if r.Tail != nil {
+		for _, st := range r.Tail.Causes {
+			t.Row("tail: "+st.Cause+" p50/p95/p99/p999",
+				fmt.Sprintf("%.0f/%.0f/%.0f/%.0f (max %d, n=%d)",
+					st.P50, st.P95, st.P99, st.P999, st.Max, st.Count))
+		}
+		t.Row("span trees sampled", fmt.Sprintf("%d (1 in %d)", r.Tail.Sampled, r.Tail.SampleEvery))
+	}
 	t.Row("SMAT (cycles)", r.SMAT)
 	t.Row("DRAM row-hit rate", stats.Pct(r.DRAM.RowHitRate()))
 

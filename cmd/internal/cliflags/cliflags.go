@@ -25,6 +25,7 @@ import (
 	"cosmos/internal/obs"
 	"cosmos/internal/policytrain"
 	"cosmos/internal/rl"
+	"cosmos/internal/telemetry"
 )
 
 // Obs holds the observability-plane flags shared by every command.
@@ -54,6 +55,8 @@ type Fault struct {
 	Rate        float64
 	Seed        uint64
 	Kinds       string
+	StepFrom    uint64
+	StepTo      uint64
 	CrashAt     uint64
 	CrashDropRL bool
 }
@@ -64,6 +67,8 @@ func RegisterFault(fs *flag.FlagSet) *Fault {
 	fs.Float64Var(&f.Rate, "fault-rate", 0, "per-fetch fault probability for the deterministic fault plane (0 = off)")
 	fs.Uint64Var(&f.Seed, "fault-seed", 1, "seed of the fault stream (same seed = same faults, every design)")
 	fs.StringVar(&f.Kinds, "fault-kinds", "", "comma-separated fault kinds, each optionally kind:rate (data,ctr,mac,mt; empty = all at -fault-rate)")
+	fs.Uint64Var(&f.StepFrom, "fault-step-from", 0, "start of the injection window in access steps (fault bursts; 0 = from the first access)")
+	fs.Uint64Var(&f.StepTo, "fault-step-to", 0, "end of the injection window in access steps, half-open (0 = unbounded)")
 	fs.Uint64Var(&f.CrashAt, "crash-at", 0, "crash the memory controller before this access number and replay recovery (0 = never)")
 	fs.BoolVar(&f.CrashDropRL, "crash-drop-rl", false, "the crash also loses the RL predictor tables")
 	return f
@@ -80,8 +85,39 @@ func (f *Fault) Config() *fault.Config {
 	}
 	return &fault.Config{
 		Seed: f.Seed, Rate: f.Rate, Kinds: f.Kinds,
+		StepFrom: f.StepFrom, StepTo: f.StepTo,
 		CrashAt: f.CrashAt, CrashDropRL: f.CrashDropRL,
 	}
+}
+
+// Spans holds the span-tracing and watchdog flags.
+type Spans struct {
+	SampleEvery uint64
+	TopK        int
+	Watch       bool
+}
+
+// RegisterSpans adds -span-sample, -span-topk and -watch to fs.
+func RegisterSpans(fs *flag.FlagSet) *Spans {
+	s := &Spans{}
+	fs.Uint64Var(&s.SampleEvery, "span-sample", 0,
+		"build a full span tree for 1 in this many accesses and serve the slowest exemplars on /spans (0 = off; histogram tails are collected either way once enabled)")
+	fs.IntVar(&s.TopK, "span-topk", 16, "keep this many slowest span-tree exemplars")
+	fs.BoolVar(&s.Watch, "watch", false,
+		"run the online phase/anomaly watchdog over the interval-sampler stream (emits phase_change/anomaly events and /phases)")
+	return s
+}
+
+// Enabled reports whether span tracing is on.
+func (s *Spans) Enabled() bool { return s.SampleEvery > 0 }
+
+// Recorder builds the configured span recorder, or nil when tracing is off
+// — the nil keeps Step allocation-free and Results bit-identical.
+func (s *Spans) Recorder() *telemetry.SpanRecorder {
+	if !s.Enabled() {
+		return nil
+	}
+	return telemetry.NewSpanRecorder(s.SampleEvery, s.TopK)
 }
 
 // Policy holds the learned-policy zoo flags.

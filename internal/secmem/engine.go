@@ -191,6 +191,11 @@ func (e *Engine) AttachFaults(in *fault.Injector) { e.faults = in }
 // Faults returns the attached injector (nil when faults are disabled).
 func (e *Engine) Faults() *fault.Injector { return e.faults }
 
+// AttachSpans connects a span recorder: the engine's metadata-path events
+// annotate it with typed causes (see telemetry.SpanCause). Nil (the
+// default) keeps every path bit-identical and allocation-free.
+func (e *Engine) AttachSpans(rec *telemetry.SpanRecorder) { e.spans = rec }
+
 // faultProbe rolls the fault stream for one DRAM fetch and charges the
 // resulting re-fetch/re-verify retries: each retry is a real DRAM re-read of
 // the same object plus an integrity re-check (AuthLat), booked both on the
@@ -216,6 +221,9 @@ func (e *Engine) faultProbe(k fault.Kind, now uint64, addr memsys.Addr, detectab
 		lat += e.dram.Access(now+lat, uint64(addr), false) + e.cfg.AuthLat
 	}
 	e.faults.AddRetryCycles(lat)
+	if e.spans != nil {
+		e.spans.Note(telemetry.CauseFaultRetry, lat, out.Retries)
+	}
 	if out.Poisoned && k == fault.KindCtr {
 		e.reencryptBlock(now+lat, addr.Line())
 	}
@@ -237,10 +245,15 @@ func (e *Engine) reencryptBlock(now uint64, ctrLine uint64) {
 	block := ctrLine - ctrBase
 	lines := e.layout.LinesPerBlock()
 	base := block * lines
+	var stall uint64
 	for i := uint64(0); i < lines; i++ {
 		e.Traffic.ReEncWrite++
 		e.ReEnc.FaultLines++
-		e.ReEnc.StallCycles += e.dram.Access(now, (base+i)<<memsys.LineOffsetBits, true)
+		stall += e.dram.Access(now, (base+i)<<memsys.LineOffsetBits, true)
+	}
+	e.ReEnc.StallCycles += stall
+	if e.spans != nil {
+		e.spans.Note(telemetry.CauseReEnc, stall, lines)
 	}
 }
 
@@ -320,6 +333,9 @@ func (e *Engine) CtrAccess(c int, now uint64, dataLine uint64, write bool) CtrRe
 			delete(e.pfMark, ctrLine)
 			e.pfStats.Useful++
 		}
+		if e.spans != nil {
+			e.spans.Note(telemetry.CauseCtrHit, res.Latency, 0)
+		}
 	} else {
 		e.CtrMisses++
 		lat := e.dram.Access(now, uint64(ctrAddr), false)
@@ -332,6 +348,9 @@ func (e *Engine) CtrAccess(c int, now uint64, dataLine uint64, write bool) CtrRe
 		res.Latency = lat + e.cfg.CombineLat
 		if e.pfMark != nil {
 			delete(e.pfMark, ctrLine)
+		}
+		if e.spans != nil {
+			e.spans.Note(telemetry.CauseCtrMiss, res.Latency, 0)
 		}
 	}
 	if e.lcrPols[c] != nil && e.CtrPred != nil {
@@ -374,6 +393,9 @@ func (e *Engine) verifyPath(c int, now uint64, ctrBlock uint64) {
 		if e.walkHist != nil {
 			e.walkHist.Observe(uint64(len(e.pathBuf)))
 		}
+		if e.spans != nil {
+			e.spans.Note(telemetry.CauseMTWalk, 0, uint64(len(e.pathBuf)))
+		}
 		return
 	}
 	cc := e.ctrCaches[c]
@@ -407,6 +429,9 @@ func (e *Engine) verifyPath(c int, now uint64, ctrBlock uint64) {
 	if e.walkHist != nil {
 		e.walkHist.Observe(fetched)
 	}
+	if e.spans != nil {
+		e.spans.Note(telemetry.CauseMTWalk, 0, fetched)
+	}
 }
 
 // incrementCounter advances the line's counter for a DRAM write, handling
@@ -415,12 +440,17 @@ func (e *Engine) incrementCounter(now uint64, dataLine uint64) {
 	overflowed, reencLines := e.ctrStore.Increment(dataLine)
 	if overflowed {
 		e.ReEnc.OverflowEvents++
+		var stall uint64
 		for i := 0; i < reencLines; i++ {
 			e.Traffic.ReEncWrite++
 			e.ReEnc.OverflowLines++
 			// Background queue slots: charge bank occupancy only.
 			base := dataLine / uint64(ctr.Morph().LinesPerBlock) * uint64(ctr.Morph().LinesPerBlock)
-			e.ReEnc.StallCycles += e.dram.Access(now, (base+uint64(i))<<memsys.LineOffsetBits, true)
+			stall += e.dram.Access(now, (base+uint64(i))<<memsys.LineOffsetBits, true)
+		}
+		e.ReEnc.StallCycles += stall
+		if e.spans != nil {
+			e.spans.Note(telemetry.CauseReEnc, stall, uint64(reencLines))
 		}
 	}
 }
@@ -441,9 +471,12 @@ func (e *Engine) MACAccess(c int, now uint64, dataLine uint64, write bool) {
 	}
 	if !r.Hit {
 		e.Traffic.MACRead++
-		e.dram.Access(now, uint64(macAddr), false)
+		lat := e.dram.Access(now, uint64(macAddr), false)
 		if e.faults != nil {
 			e.faultProbe(fault.KindMAC, now, macAddr, true)
+		}
+		if e.spans != nil {
+			e.spans.Note(telemetry.CauseMACFetch, lat, 0)
 		}
 	}
 }

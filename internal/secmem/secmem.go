@@ -255,6 +255,13 @@ type Engine struct {
 	// keeps the engine bit-identical to a fault-free build.
 	faults *fault.Injector
 
+	// spans, when non-nil, is the attached span recorder: metadata-path
+	// events (counter hits/misses, MT walks, MAC fetches, fault retries,
+	// re-encryption storms) feed its per-cause histograms and, for
+	// sampled accesses, its span trees. Nil (the default) costs one
+	// branch per site.
+	spans *telemetry.SpanRecorder
+
 	Traffic   Traffic
 	ReEnc     ReEncStats
 	CtrHits   uint64

@@ -74,11 +74,12 @@ type parEngine struct {
 
 // parallelEligible reports whether RunContext should use the parallel
 // engine: it is enabled, there is more than one core and at least one
-// private level to farm out, and no interval sampler is attached (its
-// cadence observes per-access intermediate state that only the serial
-// engine reproduces).
+// private level to farm out, and neither an interval sampler nor a span
+// recorder is attached (both observe per-access intermediate state in
+// global access order, which only the serial engine reproduces).
 func (s *System) parallelEligible() bool {
-	return s.parallelCores > 1 && s.cfg.Cores > 1 && s.sharedFrom > 0 && s.sampler == nil
+	return s.parallelCores > 1 && s.cfg.Cores > 1 && s.sharedFrom > 0 &&
+		s.sampler == nil && s.spans == nil
 }
 
 // parEngine lazily builds (and caches) the engine scratch state.

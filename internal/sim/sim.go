@@ -217,6 +217,7 @@ type System struct {
 	tracer    *telemetry.Tracer
 	fetchHist *telemetry.Histogram
 	phases    *telemetry.Phases
+	spans     *telemetry.SpanRecorder
 
 	// faults, when non-nil, is the attached fault plane (also wired into
 	// the memory controller engine).
@@ -328,7 +329,7 @@ func (s *System) Chain(c int) []memsys.Level {
 // the runner's spec hash. The parallel engine silently falls back to serial
 // when it cannot preserve bit-identicality or has nothing to parallelise:
 // single-core configs, hierarchies with no private levels, or an attached
-// interval sampler (its cadence observes per-access state).
+// interval sampler or span recorder (both observe per-access state).
 func (s *System) SetParallelCores(n int) { s.parallelCores = n }
 
 // ParallelCores reports the configured engine knob (see SetParallelCores).
@@ -390,6 +391,18 @@ func (s *System) AttachTracer(tr *telemetry.Tracer) {
 	}
 }
 
+// AttachSpans enables access-level span tracing: every Step feeds the
+// recorder's per-cause latency histograms, and a deterministic 1-in-N
+// subset of accesses gets a full span tree (see telemetry.SpanRecorder).
+// The recorder is also attached to the memory controller so metadata-path
+// events (counter misses, MT walks, MAC fetches, fault retries,
+// re-encryption storms) annotate the same trees. Nil (the default) keeps
+// Step allocation-free and the Results bit-identical.
+func (s *System) AttachSpans(rec *telemetry.SpanRecorder) {
+	s.spans = rec
+	s.mc.AttachSpans(rec)
+}
+
 // AttachPhases enables wall-time attribution during RunContext: decode
 // (generator NextBlock), step (the simulator loop) and report (sampler
 // flush + Results assembly) wall time plus a simulated-access count
@@ -435,6 +448,9 @@ func (s *System) Step(a memsys.Access) uint64 {
 	line := a.Addr.Line()
 	chain := s.chains[c]
 
+	if s.spans != nil {
+		s.spans.MaybeBegin(s.accesses, c, line)
+	}
 	s.accesses++
 	if write {
 		s.writes++
@@ -446,10 +462,16 @@ func (s *System) Step(a memsys.Access) uint64 {
 	s.demand[0].accesses++
 	lat := s.l1Lat
 	if chain[0].Probe(line, write, a.Region, c, now) {
+		if s.spans != nil {
+			s.spans.EndAccess(lat)
+		}
 		s.advance(c, write, a.Dep, lat)
 		return lat
 	}
 	s.demand[0].misses++
+	if s.spans != nil {
+		s.spans.LevelMiss(s.specs[0].Name, 0, s.l1Lat)
+	}
 
 	// Miss at the top: open the fetch plan (location prediction, early
 	// counter issue), then walk the lower levels.
@@ -461,10 +483,16 @@ func (s *System) Step(a memsys.Access) uint64 {
 		lat += s.lats[i]
 		if hit {
 			s.gradeOnChipHit(plan, now, a.Addr, write, i == len(chain)-1)
+			if s.spans != nil {
+				s.spans.EndAccess(lat)
+			}
 			s.advance(c, write, a.Dep, lat)
 			return lat
 		}
 		s.demand[i].misses++
+		if s.spans != nil {
+			s.spans.LevelMiss(s.specs[i].Name, lat-s.lats[i], s.lats[i])
+		}
 	}
 
 	// Off-chip: resolve the plan into the timed fetch path.
@@ -482,6 +510,12 @@ func (s *System) Step(a memsys.Access) uint64 {
 	}
 	if s.tracer != nil {
 		s.traceFetch(c, now, path)
+	}
+	if s.spans != nil {
+		s.spans.NoteFetch(s.l1Lat, path.walkLat, path.ctrStart(), path.ctrLat,
+			path.dataStart(), path.dataLat, fetchEnd,
+			path.secure, path.ctrHit, path.predictedOff)
+		s.spans.EndAccess(lat)
 	}
 
 	s.advance(c, write, a.Dep, lat)
@@ -697,6 +731,11 @@ type Results struct {
 	// no fault plane attached, so fault-free Results are unchanged.
 	Fault *fault.Report `json:",omitempty"`
 
+	// Tail carries the per-cause latency distributions (p50/p95/p99/p999)
+	// when a span recorder was attached. Nil otherwise, so span-free
+	// Results are byte-identical to earlier builds.
+	Tail *telemetry.TailReport `json:",omitempty"`
+
 	SMAT float64
 }
 
@@ -749,6 +788,9 @@ func (s *System) Results(workload string) Results {
 	if s.faults != nil {
 		rep := s.faults.Report()
 		res.Fault = &rep
+	}
+	if s.spans != nil {
+		res.Tail = s.spans.Report()
 	}
 	res.SMAT = s.smat()
 	return res

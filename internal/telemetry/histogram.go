@@ -53,6 +53,44 @@ func (h *Histogram) Mean() float64 {
 // Buckets returns a copy of the per-bucket counts.
 func (h *Histogram) Buckets() [HistBuckets]uint64 { return h.counts }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution: the cumulative bucket counts locate the target rank's
+// bucket and the position inside it is linearly interpolated across the
+// bucket's value range. The log2 buckets bound the relative error at 2x —
+// good enough for tail reporting (p50/p95/p99/p999), deliberately not for
+// exact arithmetic. Returns 0 when nothing was observed; the top estimate
+// is clamped at Max so the widest bucket cannot overshoot the data.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i := 0; i < HistBuckets; i++ {
+		c := float64(h.counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketBounds(i)
+			frac := (rank - cum) / c
+			v := float64(lo) + frac*float64(hi-lo+1)
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(h.max)
+}
+
 // BucketBounds reports the inclusive value range [lo, hi] covered by bucket
 // i. The last bucket additionally absorbs every larger value.
 func BucketBounds(i int) (lo, hi uint64) {

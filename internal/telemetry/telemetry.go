@@ -155,3 +155,10 @@ func (s *Scope) Histogram(name string) *Histogram {
 	s.r.register(metric{name: s.join(name), kind: kindHist, hist: h})
 	return h
 }
+
+// HistogramVar registers an existing histogram the owner already maintains
+// (e.g. a SpanRecorder's per-cause array), so externally-owned
+// distributions ride the sampler and /metrics without double bookkeeping.
+func (s *Scope) HistogramVar(name string, h *Histogram) {
+	s.r.register(metric{name: s.join(name), kind: kindHist, hist: h})
+}

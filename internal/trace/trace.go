@@ -109,6 +109,55 @@ func (l *limited) NextBlock(dst []memsys.Access) int {
 
 func (l *limited) Close() { CloseIfCloser(l.g) }
 
+type concat struct {
+	name string
+	gens []Generator
+	cur  int
+}
+
+// Concat chains streams back to back: the next generator starts when the
+// previous one is exhausted (wrap phase-sized segments with Limit). The
+// result models a workload switch mid-run — the access stream is still a
+// pure function of its parts, so runs stay deterministic.
+func Concat(name string, gens ...Generator) Generator {
+	return &concat{name: name, gens: gens}
+}
+
+func (c *concat) Name() string { return c.name }
+
+func (c *concat) Next() (memsys.Access, bool) {
+	for c.cur < len(c.gens) {
+		if a, ok := c.gens[c.cur].Next(); ok {
+			return a, true
+		}
+		CloseIfCloser(c.gens[c.cur])
+		c.cur++
+	}
+	return memsys.Access{}, false
+}
+
+// NextBlock implements BlockGenerator: each phase decodes in bulk, and a
+// block may span the seam between two phases.
+func (c *concat) NextBlock(dst []memsys.Access) int {
+	n := 0
+	for n < len(dst) && c.cur < len(c.gens) {
+		m := NextBlock(c.gens[c.cur], dst[n:])
+		if m == 0 {
+			CloseIfCloser(c.gens[c.cur])
+			c.cur++
+			continue
+		}
+		n += m
+	}
+	return n
+}
+
+func (c *concat) Close() {
+	for ; c.cur < len(c.gens); c.cur++ {
+		CloseIfCloser(c.gens[c.cur])
+	}
+}
+
 // Interleave merges per-thread streams deterministically: `chunk` accesses
 // from thread 0, then thread 1, … wrapping around, skipping exhausted
 // threads. Thread IDs are stamped onto the accesses.
