@@ -13,8 +13,16 @@
 //
 // With -listen the campaign serves its live observability plane (see
 // DESIGN.md §8): /metrics (Prometheus), /runs (per-cell campaign state),
-// /events (SSE lifecycle + sampler stream), /healthz, /buildz and
+// /events (SSE lifecycle + sampler stream), /healthz, /readyz, /buildz and
 // /debug/pprof.
+//
+// Distributed campaigns (see DESIGN.md §14): -serve turns the process into
+// the campaign coordinator (lease-based work queue on the observability
+// plane address), -join turns it into a worker pulling leases from a
+// coordinator. Determinism makes the distributed table byte-identical to a
+// single-node run.
+//
+// Exit codes: 0 success, 1 campaign error, 2 usage, 3 lost coordinator.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"cosmos/cmd/internal/cliflags"
+	"cosmos/internal/coord"
 	"cosmos/internal/experiments"
 	"cosmos/internal/obs"
 	"cosmos/internal/runner"
@@ -55,12 +64,13 @@ func run() int {
 		par     = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (worker pool size)")
 		results = flag.String("results-dir", "", "persist completed simulations here and resume from it on rerun")
 
-		timeout   = cliflags.RegisterTimeout(flag.CommandLine)
-		faults    = cliflags.RegisterFault(flag.CommandLine)
-		obsFlags  = cliflags.RegisterObs(flag.CommandLine)
-		parCores  = cliflags.RegisterParallelCores(flag.CommandLine)
-		policy    = cliflags.RegisterPolicy(flag.CommandLine)
-		spanFlags = cliflags.RegisterSpans(flag.CommandLine)
+		timeout    = cliflags.RegisterTimeout(flag.CommandLine)
+		faults     = cliflags.RegisterFault(flag.CommandLine)
+		obsFlags   = cliflags.RegisterObs(flag.CommandLine)
+		parCores   = cliflags.RegisterParallelCores(flag.CommandLine)
+		policy     = cliflags.RegisterPolicy(flag.CommandLine)
+		spanFlags  = cliflags.RegisterSpans(flag.CommandLine)
+		coordFlags = cliflags.RegisterCoord(flag.CommandLine)
 
 		statsOut   = flag.String("stats-out", "", "write per-interval metric time-series, one <workload>_<design>.jsonl (or .csv with -stats-csv) per simulation, into this directory")
 		statsIvl   = flag.Uint64("stats-interval", 100_000, "sampling interval in accesses for -stats-out")
@@ -74,7 +84,21 @@ func run() int {
 	logger, err := obsFlags.Logger("cosmos-bench")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-bench:", err)
-		return 1
+		return exitUsage
+	}
+
+	if coordFlags.Serve != "" && coordFlags.Join != "" {
+		logger.Error("-serve and -join are mutually exclusive")
+		return exitUsage
+	}
+	if coordFlags.Serve != "" {
+		if *results == "" {
+			logger.Error("-serve requires -results-dir (the coordinator persists results and its journal there)")
+			return exitUsage
+		}
+		// The serve address IS the observability plane: the lease fabric
+		// mounts under /coord/* next to /metrics and /runs.
+		obsFlags.Listen = coordFlags.Serve
 	}
 
 	if *list {
@@ -89,12 +113,12 @@ func run() int {
 	}
 	if policy.Log != "" {
 		logger.Error("transition logging is per-simulation; record with cosmos-sim -policy-log instead")
-		return 1
+		return exitUsage
 	}
 	dataPolicy, ctrPolicy, err := policy.Specs()
 	if err != nil {
 		logger.Error("policy flags", "err", err)
-		return 1
+		return exitUsage
 	}
 
 	// First SIGINT/SIGTERM cancels the campaign context: in-flight
@@ -103,6 +127,11 @@ func run() int {
 	// kills the process the usual way.
 	ctx, stop := cliflags.SignalContext(*timeout)
 	defer stop()
+
+	// Worker mode: no experiments, no table — just the lease loop.
+	if coordFlags.Join != "" {
+		return joinCampaign(ctx, logger, obsFlags, coordFlags, *par)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -173,7 +202,7 @@ func run() int {
 	if faultCfg := faults.Config(); faultCfg != nil {
 		if err := faultCfg.Validate(); err != nil {
 			logger.Error("fault config", "err", err)
-			return 1
+			return exitUsage
 		}
 		lopts = append(lopts, experiments.WithFaults(faultCfg))
 	}
@@ -198,6 +227,19 @@ func run() int {
 	lab := experiments.NewLab(experiments.Scaled(*scale), lopts...)
 	lab.Orchestrator().Phases = phases
 
+	// Coordinator mode: leader executions go to the lease fabric instead of
+	// local simulation. The orchestrator keeps its store-first lookup, memo
+	// and singleflight, so resumes and composite figures still dedup.
+	var coordinator *coord.Coordinator
+	if coordFlags.Serve != "" {
+		coordinator, err = newCoordinator(store, coordFlags.LeaseTTL, logger)
+		if err != nil {
+			logger.Error("coordinator setup", "err", err)
+			return exitCampaign
+		}
+		lab.Orchestrator().Executor = coordinator
+	}
+
 	// With the plane up, per-run span recorders and watchdogs register into
 	// hubs so /spans and /phases carry every executing cell.
 	var spanHub *obs.SpanHub
@@ -217,7 +259,7 @@ func run() int {
 		reg := telemetry.NewRegistry()
 		lab.Orchestrator().RegisterMetrics(reg.Root())
 		phases.RegisterMetrics(reg.Root().Scope("perf"))
-		srv := obs.NewServer(obs.Config{
+		cfg := obs.Config{
 			Component: "cosmos-bench",
 			Registry:  reg,
 			Runs:      table,
@@ -225,10 +267,18 @@ func run() int {
 			Spans:     spanHub,
 			Watch:     watchHub,
 			Logger:    logger,
-		})
+		}
+		if coordinator != nil {
+			coordinator.RegisterMetrics(reg)
+			cfg.Component = "cosmos-bench-coordinator"
+			cfg.Ready = coordinator.Ready
+			cfg.Coord = func() any { return coordinator.Status() }
+			cfg.Attach = coordinator.Mount
+		}
+		srv := obs.NewServer(cfg)
 		if err := srv.Start(obsFlags.Listen); err != nil {
 			logger.Error("observability plane", "err", err)
-			return 1
+			return exitCampaign
 		}
 		logger.Info("observability plane listening", "addr", srv.URL())
 		defer func() {
@@ -306,28 +356,39 @@ func run() int {
 		return true
 	}
 
-	if *exp == "all" {
-		if *par > 1 {
-			start := time.Now()
-			if err := experiments.Prewarm(lab); err != nil {
-				logger.Error("prewarm failed", "err", err)
-				return 1
+	// The prewarm pass floods the orchestrator with the whole evaluation
+	// matrix at once. A coordinator always wants that, whatever -exp and
+	// -parallel say: the figure generators render cells serially, and only
+	// a full lease queue lets the worker fleet actually run in parallel
+	// (delegated cells don't occupy local worker slots).
+	if (*par > 1 && *exp == "all") || coordinator != nil {
+		start := time.Now()
+		if err := experiments.Prewarm(lab); err != nil {
+			logger.Error("prewarm failed", "err", err)
+			if coordinator != nil {
+				finishServe(coordinator, logger, serveGrace(coordFlags))
 			}
-			fmt.Printf("(prewarmed evaluation matrix with %d workers in %.1fs)\n\n", *par, time.Since(start).Seconds())
+			return exitCampaign
 		}
+		fmt.Printf("(prewarmed evaluation matrix with %d workers in %.1fs)\n\n", *par, time.Since(start).Seconds())
+	}
+	if *exp == "all" {
 		for _, e := range experiments.All() {
 			if !runExp(e) {
 				break
 			}
 		}
-		return code
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			logger.Error("unknown experiment", "err", err)
+			return exitUsage
+		}
+		runExp(e)
 	}
-	e, err := experiments.ByID(*exp)
-	if err != nil {
-		logger.Error("unknown experiment", "err", err)
-		return 1
+	if coordinator != nil {
+		finishServe(coordinator, logger, serveGrace(coordFlags))
 	}
-	runExp(e)
 	return code
 }
 

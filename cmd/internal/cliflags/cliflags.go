@@ -226,6 +226,48 @@ func roleIndex(role string) int {
 	return 1
 }
 
+// Coord holds the distributed-campaign flags: one binary is either a
+// coordinator (-serve), a worker (-join), or a plain single-node campaign
+// (neither).
+type Coord struct {
+	Serve      string
+	Join       string
+	LeaseTTL   time.Duration
+	WorkerName string
+	PollIvl    time.Duration
+	Reconnect  time.Duration
+}
+
+// RegisterCoord adds the -serve / -join flag group to fs.
+func RegisterCoord(fs *flag.FlagSet) *Coord {
+	c := &Coord{}
+	fs.StringVar(&c.Serve, "serve", "",
+		"run as campaign coordinator: serve the lease-based work queue (and the observability plane) on this address; requires -results-dir")
+	fs.StringVar(&c.Join, "join", "",
+		"run as campaign worker: pull leases from the coordinator at this base URL (e.g. http://host:9090) and stream results back")
+	fs.DurationVar(&c.LeaseTTL, "lease-ttl", 10*time.Second,
+		"coordinator lease time-to-live; a worker missing heartbeats for this long has its cell re-leased")
+	fs.StringVar(&c.WorkerName, "worker-name", "",
+		"worker identity in leases and the coordinator's /runs (default <hostname>-<pid>)")
+	fs.DurationVar(&c.PollIvl, "poll-interval", 250*time.Millisecond,
+		"worker sleep between empty lease polls (jittered)")
+	fs.DurationVar(&c.Reconnect, "reconnect-budget", 60*time.Second,
+		"how long a worker tolerates an unreachable coordinator before exiting with the lost-coordinator code")
+	return c
+}
+
+// Name resolves the worker identity, defaulting to <hostname>-<pid>.
+func (c *Coord) Name() string {
+	if c.WorkerName != "" {
+		return c.WorkerName
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
 // RegisterTimeout adds the -timeout flag to fs.
 func RegisterTimeout(fs *flag.FlagSet) *time.Duration {
 	return fs.Duration("timeout", 0, "abort after this duration (0 = none)")

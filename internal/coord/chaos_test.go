@@ -1,0 +1,340 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosmos/internal/experiments"
+	"cosmos/internal/runner"
+	"cosmos/internal/secmem"
+	"cosmos/internal/workloads"
+)
+
+// TestChaosCampaign is the crown proof of the fabric: a Fig-2 campaign runs
+// distributed across three in-process workers while the harness
+//
+//   - SIGKILLs one worker mid-cell (its transport dies, so even the
+//     goodbye release is lost and the lease must expire),
+//   - drops and duplicates result uploads on the survivors' transports,
+//   - crashes the coordinator mid-campaign and restarts it over the same
+//     results dir and journal,
+//
+// and then asserts the campaign behaved as if nothing happened: the final
+// table is byte-identical to a clean single-node run, and the store/journal
+// cross-check shows every cell recorded exactly once.
+func TestChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign runs real simulations")
+	}
+	scale := experiments.Scaled(0) // smoke scale: ~50-150ms per cell
+
+	// ── Reference: the same experiment, single node, no fabric at all. ──
+	refLab := experiments.NewLab(scale, experiments.WithWorkers(2))
+	fig2, err := experiments.ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable, err := fig2.Run(refLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := refTable.CSV()
+
+	// The exact cell matrix Fig 2 renders (graph workloads × NP/Morph at
+	// the characterization CTR-cache size), so the fabric can be flooded
+	// up front instead of one serial cell at a time.
+	specs := fig2Specs(scale)
+
+	// ── The distributed run, with chaos. ──
+	dir := t.TempDir()
+	store, err := runner.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ttl = 500 * time.Millisecond
+	coordA, err := New(Config{Store: store, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coordA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	muxA := http.NewServeMux()
+	coordA.Mount(muxA)
+	srvA := httptest.NewServer(muxA)
+
+	// Every worker dials through a host-rewriting transport, so the
+	// coordinator can "move" (crash + restart on a new port) under them.
+	victimT := newChaosTransport(srvA.URL)
+	flaky2 := newChaosTransport(srvA.URL)
+	flaky3 := newChaosTransport(srvA.URL)
+	flaky2.flaky.Store(true)
+	flaky3.flaky.Store(true)
+
+	newWorker := func(name string, tr *chaosTransport) *Worker {
+		w, err := NewWorker(WorkerConfig{
+			// Addr is a placeholder: the transport rewrites the host.
+			Addr:            srvA.URL,
+			Name:            name,
+			Concurrency:     1,
+			Client:          &http.Client{Transport: tr, Timeout: 10 * time.Second},
+			PollInterval:    20 * time.Millisecond,
+			ReconnectBudget: 30 * time.Second,
+			Orchestrator:    runner.New(runner.Options{Workers: 1}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	victim := newWorker("w-victim", victimT)
+	surv2 := newWorker("w-surv2", flaky2)
+	surv3 := newWorker("w-surv3", flaky3)
+
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	survCtx, drainSurvivors := context.WithCancel(context.Background())
+	var fleet sync.WaitGroup
+	workerErrs := make(map[string]error)
+	var workerMu sync.Mutex
+	runWorker := func(name string, w *Worker, ctx context.Context) {
+		fleet.Add(1)
+		go func() {
+			defer fleet.Done()
+			err := w.Run(ctx)
+			workerMu.Lock()
+			workerErrs[name] = err
+			workerMu.Unlock()
+		}()
+	}
+	runWorker("victim", victim, victimCtx)
+	runWorker("surv2", surv2, survCtx)
+	runWorker("surv3", surv3, survCtx)
+
+	// Campaign phase A: flood the fabric through a lab whose orchestrator
+	// delegates to coordinator A.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	labA := experiments.NewLab(scale,
+		experiments.WithContext(ctxA), experiments.WithWorkers(4), experiments.WithStore(store))
+	labA.Orchestrator().Executor = coordA
+	labADone := make(chan error, 1)
+	go func() { labADone <- labA.Orchestrator().RunAll(ctxA, specs) }()
+
+	// Kill the victim the moment it actually holds a lease: cut its
+	// transport first (so not even the drain release gets out), then cancel
+	// it — the true SIGKILL shape as the coordinator sees it.
+	waitFor(t, func() bool {
+		for _, l := range coordA.Status().Leases {
+			if l.Worker == "w-victim" {
+				return true
+			}
+		}
+		return false
+	})
+	victimT.killed.Store(true)
+	killVictim()
+
+	// Let the campaign make real progress (including the victim's cell
+	// expiring and being re-leased) before crashing the coordinator.
+	waitFor(t, func() bool { return store.Len() >= 4 })
+	waitFor(t, func() bool { return coordA.ReLeases() >= 1 })
+
+	// ── Coordinator crash. ──
+	cancelA()
+	if err := <-labADone; err == nil {
+		t.Fatal("lab A survived its context being cancelled")
+	}
+	coordA.Close()
+	srvA.Close()
+
+	// ── Coordinator restart over the same results dir + journal. ──
+	coordB, err := New(Config{Store: store, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coordB.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	muxB := http.NewServeMux()
+	coordB.Mount(muxB)
+	srvB := httptest.NewServer(muxB)
+	defer srvB.Close()
+	// The fleet follows the coordinator to its new address.
+	victimT.redirect(srvB.URL)
+	flaky2.redirect(srvB.URL)
+	flaky3.redirect(srvB.URL)
+
+	labB := experiments.NewLab(scale,
+		experiments.WithWorkers(4), experiments.WithStore(store))
+	labB.Orchestrator().Executor = coordB
+	if err := labB.Orchestrator().RunAll(context.Background(), specs); err != nil {
+		t.Fatalf("campaign phase B: %v", err)
+	}
+
+	// Render the figure from the completed campaign (store + memo only —
+	// every cell is done, so no new leases are needed).
+	table, err := fig2.Run(labB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign over: drain the fleet and let every worker exit.
+	coordB.Close()
+	drainSurvivors()
+	fleetDone := make(chan struct{})
+	go func() { fleet.Wait(); close(fleetDone) }()
+	select {
+	case <-fleetDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet did not drain")
+	}
+	for name, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %s exited with %v", name, err)
+		}
+	}
+
+	// ── The assertions. ──
+
+	// 1. Byte-identical table: chaos cost wall-clock, never results.
+	if got := table.CSV(); got != reference {
+		t.Fatalf("distributed table diverges from single-node reference:\n--- reference ---\n%s\n--- distributed ---\n%s", reference, got)
+	}
+
+	// 2. Exactly-once cross-check: every spec landed in the store, and the
+	// journal records exactly one non-duplicate completion per key — no
+	// more, no less — despite kills, dropped uploads, duplicated uploads
+	// and the restart.
+	hist, _, err := coordB.journal.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		key := sp.Key()
+		if _, ok := store.Get(context.Background(), key); !ok {
+			t.Fatalf("cell %s missing from store", sp.DisplayLabel())
+		}
+		h := hist[key]
+		if h == nil || !h.Done {
+			t.Fatalf("cell %s has no journal completion", sp.DisplayLabel())
+		}
+	}
+	doneKeys := 0
+	for key, h := range hist {
+		if h.Done {
+			doneKeys++
+			if _, ok := store.Get(context.Background(), key); !ok {
+				t.Fatalf("journal says %s done but store has no record", key)
+			}
+		}
+	}
+	if doneKeys != len(specs) {
+		t.Fatalf("journal records %d completed keys, campaign has %d cells", doneKeys, len(specs))
+	}
+
+	// 3. The chaos actually happened: the victim's cell was re-leased, and
+	// at least one duplicated/dropped upload produced a no-op duplicate.
+	if got := coordB.ReLeases(); got < 1 {
+		t.Fatalf("re-leases = %d, want >= 1 (victim kill must have expired a lease)", got)
+	}
+	dups := 0
+	for _, h := range hist {
+		dups += h.Dups
+	}
+	if dups < 1 {
+		t.Fatalf("journal dups = %d, want >= 1 (flaky transports must have duplicated an upload)", dups)
+	}
+	t.Logf("chaos summary: re_leases=%d journal_dups=%d status_b=%+v",
+		coordB.ReLeases(), dups, coordB.Status())
+}
+
+// fig2Specs rebuilds Fig 2's exact cell matrix (experiments/characterization.go):
+// every graph workload under NP and MorphCtr with the 128 KiB
+// characterization CTR cache, at the lab scale's access counts.
+func fig2Specs(scale experiments.Scale) []runner.Spec {
+	var specs []runner.Spec
+	for _, w := range workloads.GraphNames() {
+		for _, mk := range []func() secmem.Design{secmem.DesignNP, secmem.DesignMorph} {
+			d := mk()
+			d.CtrCacheBytes = 128 << 10
+			specs = append(specs, runner.Spec{
+				Workload:    w,
+				Design:      d,
+				Cores:       4,
+				Accesses:    scale.Accesses,
+				GraphNodes:  scale.GraphNodes,
+				GraphDegree: scale.GraphDegree,
+				Seed:        scale.Seed,
+			})
+		}
+	}
+	return specs
+}
+
+// chaosTransport is the fleet's failure injector: a RoundTripper that can
+// be killed (every request errors, as after SIGKILL), made flaky
+// (deterministically drop the response of one upload and duplicate
+// another), and redirected to a restarted coordinator's new address.
+type chaosTransport struct {
+	host   atomic.Value // string: current coordinator base URL
+	killed atomic.Bool
+	flaky  atomic.Bool
+	nRes   atomic.Uint64 // /coord/result requests seen
+}
+
+func newChaosTransport(base string) *chaosTransport {
+	tr := &chaosTransport{}
+	tr.host.Store(base)
+	return tr
+}
+
+func (tr *chaosTransport) redirect(base string) { tr.host.Store(base) }
+
+func (tr *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if tr.killed.Load() {
+		return nil, errors.New("chaos: worker killed")
+	}
+	target, err := url.Parse(tr.host.Load().(string))
+	if err != nil {
+		return nil, err
+	}
+	r2 := req.Clone(req.Context())
+	r2.URL.Scheme = target.Scheme
+	r2.URL.Host = target.Host
+
+	if tr.flaky.Load() && req.URL.Path == "/coord/result" {
+		switch tr.nRes.Add(1) {
+		case 1:
+			// Drop the response: the upload LANDS but the worker never
+			// hears, so its retry arrives as a duplicate.
+			resp, err := http.DefaultTransport.RoundTrip(r2)
+			if err == nil {
+				resp.Body.Close()
+			}
+			return nil, fmt.Errorf("chaos: response dropped")
+		case 3:
+			// Duplicate the request outright: two identical uploads race.
+			// GetBody (set for bytes.Reader bodies) gives each copy its own
+			// reader; a Clone alone would share one consumed Body.
+			if req.GetBody != nil {
+				dup := req.Clone(req.Context())
+				dup.URL.Scheme = target.Scheme
+				dup.URL.Host = target.Host
+				dup.Body, _ = req.GetBody()
+				if resp, err := http.DefaultTransport.RoundTrip(dup); err == nil {
+					resp.Body.Close()
+				}
+				r2.Body, _ = req.GetBody()
+			}
+		}
+	}
+	return http.DefaultTransport.RoundTrip(r2)
+}

@@ -1,0 +1,658 @@
+// Package coord is the fault-tolerant distributed campaign fabric: a
+// lease-based coordinator that hands simulation cells to remote workers and
+// a worker loop that executes them through the ordinary runner path.
+//
+// The design leans entirely on two properties the repo already guarantees:
+//
+//   - determinism: identical Specs produce bit-identical Results wherever
+//     they run, so executing a cell twice (a re-leased cell whose original
+//     worker was merely slow, a zombie upload from a presumed-dead worker)
+//     is wasteful but never wrong;
+//   - content addressing: cells are keyed by the spec's canonical hash and
+//     results land in the content-addressed store via atomic renames, so
+//     duplicate uploads overwrite a record with identical bytes.
+//
+// Exactly-once therefore means exactly-once *recording*: the coordinator
+// accepts at-least-once execution from the fleet and collapses it to one
+// non-duplicate completion per key in the store and journal. Leases carry a
+// TTL extended by heartbeats; a lease whose deadline passes goes back on the
+// pending queue and is granted to the next worker. Workers self-fence: a
+// worker that cannot refresh its lease stops trusting it, so a grant's
+// authority and the coordinator's willingness to wait expire together.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosmos/internal/runner"
+	"cosmos/internal/sim"
+	"cosmos/internal/telemetry"
+)
+
+// DefaultTTL is the lease time-to-live when Config.TTL is zero. Workers
+// heartbeat at TTL/3, so a worker must miss three beats before its cell is
+// re-leased.
+const DefaultTTL = 10 * time.Second
+
+// ErrClosed reports an Execute or Lease against a coordinator that has shut
+// down.
+var ErrClosed = errors.New("coord: coordinator closed")
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Store receives completed results (persist-then-acknowledge: a result
+	// is durable before the uploading worker hears success). Required.
+	Store *runner.Store
+	// JournalPath overrides the ledger location; default is
+	// <store dir>/coord.journal.
+	JournalPath string
+	// TTL is the lease time-to-live; DefaultTTL when zero.
+	TTL time.Duration
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+	// Clock is injectable for lease-expiry tests; time.Now when nil.
+	Clock func() time.Time
+}
+
+// cellState is the lease state machine:
+//
+//	pending ──grant──▶ leased ──complete──▶ done
+//	   ▲                 │  │
+//	   └──expire/release─┘  └──fail (worker reported a real error)──▶ failed
+type cellState int
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+	stateFailed
+)
+
+func (s cellState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateLeased:
+		return "leased"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// cell is one unit of campaign work, identified by its spec key.
+type cell struct {
+	key   string
+	label string
+	spec  runner.Spec
+
+	state    cellState
+	worker   string    // holder while leased
+	lease    uint64    // current lease id; stale ids heartbeat into the void
+	deadline time.Time // lease expiry while leased
+	leasedAt time.Time
+	grants   int // grants by THIS coordinator incarnation
+
+	// started is the orchestrator's queue-wait/exec-time split callback,
+	// fired exactly once on the first grant.
+	started      func()
+	startedFired bool
+
+	results sim.Results
+	err     error
+	done    chan struct{} // closed when the cell reaches done or failed
+}
+
+// Coordinator owns the campaign work queue. It implements runner.Executor:
+// plug it into an Orchestrator and every leader run is enqueued for the
+// worker fleet instead of simulated locally, while the orchestrator keeps
+// its store-first lookup, memoisation and singleflight dedup.
+type Coordinator struct {
+	cfg     Config
+	ttl     time.Duration
+	journal *Journal
+	log     *slog.Logger
+	now     func() time.Time
+
+	ready  atomic.Bool
+	closed chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex
+	cells   map[string]*cell
+	pending []string            // FIFO of pending cell keys
+	hist    map[string]*History // journal replay: prior incarnations
+	seq     uint64              // lease id source, seeded past replayed ids
+	workers map[string]*workerInfo
+
+	// Fleet counters (this incarnation; ReLeases folds in history).
+	granted    uint64
+	expired    uint64
+	released   uint64
+	completed  uint64
+	duplicates uint64
+	orphans    uint64
+	failed     uint64
+}
+
+type workerInfo struct {
+	lastSeen time.Time
+	held     int
+}
+
+// New builds a coordinator over cfg. It is not ready until Recover has
+// replayed the journal; serve it on /readyz via Ready.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("coord: Config.Store is required")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.JournalPath == "" {
+		cfg.JournalPath = cfg.Store.Dir() + "/coord.journal"
+	}
+	j, err := OpenJournal(cfg.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		ttl:     cfg.TTL,
+		journal: j,
+		log:     cfg.Logger,
+		now:     cfg.Clock,
+		closed:  make(chan struct{}),
+		cells:   make(map[string]*cell),
+		hist:    make(map[string]*History),
+		workers: make(map[string]*workerInfo),
+	}, nil
+}
+
+// Recover replays the journal so accounting (grant counts, re-leases,
+// completions) continues across a coordinator restart, then marks the
+// coordinator ready. Results need no recovery: they live in the store, and
+// the orchestrator's store-first lookup skips completed cells entirely.
+func (c *Coordinator) Recover() error {
+	hist, maxLease, err := c.journal.Replay()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.hist = hist
+	if maxLease > c.seq {
+		// Never reissue a lease id a prior incarnation handed out: a zombie
+		// holding an old grant must not collide with a fresh one.
+		c.seq = maxLease
+	}
+	replayed := len(hist)
+	c.mu.Unlock()
+	c.ready.Store(true)
+	if replayed > 0 {
+		c.log.Info("coordinator recovered journal", "keys", replayed, "max_lease", maxLease)
+	}
+	return nil
+}
+
+// Ready reports whether the journal has been replayed; until then the
+// coordinator refuses to serve leases and /readyz returns 503.
+func (c *Coordinator) Ready() (bool, string) {
+	select {
+	case <-c.closed:
+		return false, "coordinator closed"
+	default:
+	}
+	if !c.ready.Load() {
+		return false, "journal not yet replayed"
+	}
+	return true, ""
+}
+
+// Close shuts the work queue: pending Execute calls fail, lease requests
+// report gone (410) so polling workers drain and exit cleanly.
+func (c *Coordinator) Close() {
+	c.once.Do(func() { close(c.closed) })
+}
+
+// Execute implements runner.Executor: enqueue the cell and block until a
+// worker completes it, the context ends, or the coordinator closes.
+func (c *Coordinator) Execute(ctx context.Context, key, label string, spec runner.Spec, started func()) (sim.Results, error) {
+	c.mu.Lock()
+	cl := c.cells[key]
+	if cl == nil {
+		cl = &cell{
+			key:     key,
+			label:   label,
+			spec:    spec,
+			state:   statePending,
+			started: started,
+			done:    make(chan struct{}),
+		}
+		c.cells[key] = cl
+		c.pending = append(c.pending, key)
+	} else if cl.started == nil {
+		// The cell pre-exists (an orphan upload landed before Execute, or a
+		// prior campaign on this incarnation enqueued it); adopt the new
+		// caller's callback if none is pending.
+		cl.started = started
+		cl.startedFired = false
+	}
+	done := cl.done
+	c.mu.Unlock()
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return sim.Results{}, ctx.Err()
+	case <-c.closed:
+		return sim.Results{}, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl.state == stateFailed {
+		return sim.Results{}, cl.err
+	}
+	return cl.results, nil
+}
+
+// Grant is one lease handed to a worker.
+type Grant struct {
+	Key   string
+	Label string
+	Spec  runner.Spec
+	Lease uint64
+	TTL   time.Duration
+}
+
+// Lease hands the oldest pending cell to worker. ok=false with a nil error
+// means nothing is pending right now (poll again); ErrClosed means the
+// campaign is over and the worker should exit.
+func (c *Coordinator) Lease(worker string) (Grant, bool, error) {
+	select {
+	case <-c.closed:
+		return Grant{}, false, ErrClosed
+	default:
+	}
+	if !c.ready.Load() {
+		return Grant{}, false, nil
+	}
+	now := c.now()
+
+	c.mu.Lock()
+	c.touchLocked(worker, now)
+	expired := c.expireLocked(now)
+	var cl *cell
+	for len(c.pending) > 0 {
+		key := c.pending[0]
+		c.pending = c.pending[1:]
+		if cand := c.cells[key]; cand != nil && cand.state == statePending {
+			cl = cand
+			break
+		}
+	}
+	if cl == nil {
+		c.mu.Unlock()
+		for _, e := range expired {
+			c.appendJournal(e)
+		}
+		return Grant{}, false, nil
+	}
+	c.seq++
+	cl.state = stateLeased
+	cl.worker = worker
+	cl.lease = c.seq
+	cl.leasedAt = now
+	cl.deadline = now.Add(c.ttl)
+	cl.grants++
+	c.granted++
+	if w := c.workers[worker]; w != nil {
+		w.held++
+	}
+	var fireStarted func()
+	if !cl.startedFired && cl.started != nil {
+		cl.startedFired = true
+		fireStarted = cl.started
+	}
+	g := Grant{Key: cl.key, Label: cl.label, Spec: cl.spec, Lease: cl.lease, TTL: c.ttl}
+	c.mu.Unlock()
+
+	// Outside the coordinator mutex: the callback walks back into the
+	// orchestrator/RunTable lock hierarchy, and the journal does file I/O.
+	if fireStarted != nil {
+		fireStarted()
+	}
+	for _, e := range expired {
+		c.appendJournal(e)
+	}
+	c.appendJournal(JournalEntry{T: entryGrant, Key: g.Key, Worker: worker, Lease: g.Lease})
+	return g, true, nil
+}
+
+// Heartbeat extends the lease deadline. ok=false tells the worker the lease
+// is lost (expired and possibly re-granted): it must stop trusting the
+// grant and abandon or self-fence the cell.
+func (c *Coordinator) Heartbeat(worker, key string, lease uint64) bool {
+	now := c.now()
+	c.mu.Lock()
+	c.touchLocked(worker, now)
+	expired := c.expireLocked(now)
+	ok := false
+	if cl := c.cells[key]; cl != nil && cl.state == stateLeased && cl.lease == lease {
+		cl.deadline = now.Add(c.ttl)
+		ok = true
+	}
+	c.mu.Unlock()
+	for _, e := range expired {
+		c.appendJournal(e)
+	}
+	return ok
+}
+
+// Complete records a cell's outcome. Results are persisted to the store
+// BEFORE the cell is marked done (persist-then-acknowledge), so a success
+// response means the result is durable. Duplicate completions — a zombie
+// worker whose lease expired, a retried upload that already landed — are
+// no-ops reported as dup=true. Completions for keys this incarnation never
+// enqueued (a worker finishing across a coordinator restart) are accepted
+// as orphans: the results are deterministic and content-addressed, so
+// storing them is always correct.
+func (c *Coordinator) Complete(worker, key string, lease uint64, spec runner.Spec, res sim.Results, workerErr string) (dup bool, err error) {
+	now := c.now()
+
+	if workerErr != "" {
+		return false, c.completeFailed(worker, key, now, workerErr)
+	}
+
+	// Fast duplicate path: skip the store write if the cell is already done.
+	c.mu.Lock()
+	c.touchLocked(worker, now)
+	if cl := c.cells[key]; cl != nil && cl.state == stateDone {
+		c.duplicates++
+		c.mu.Unlock()
+		c.appendJournal(JournalEntry{T: entryDone, Key: key, Worker: worker, Lease: lease, Dup: true})
+		return true, nil
+	}
+	c.mu.Unlock()
+
+	// Persist first. Store writes are atomic and idempotent, so two racing
+	// uploads of the same key write identical bytes.
+	if perr := c.cfg.Store.Put(context.Background(), key, spec, res); perr != nil {
+		return false, fmt.Errorf("coord: persist %s: %w", key, perr)
+	}
+
+	c.mu.Lock()
+	cl := c.cells[key]
+	orphan := false
+	switch {
+	case cl == nil:
+		// Post-restart zombie: this incarnation never enqueued the key.
+		orphan = true
+		c.orphans++
+		if h := c.hist[key]; h != nil && h.Done {
+			// A prior incarnation already recorded it: duplicate.
+			c.duplicates++
+			c.mu.Unlock()
+			c.appendJournal(JournalEntry{T: entryDone, Key: key, Worker: worker, Lease: lease, Dup: true, Orphan: true})
+			return true, nil
+		}
+		cl = &cell{key: key, spec: spec, state: stateDone, results: res, done: make(chan struct{})}
+		close(cl.done)
+		c.cells[key] = cl
+		c.completed++
+	case cl.state == stateDone:
+		c.duplicates++
+		c.mu.Unlock()
+		c.appendJournal(JournalEntry{T: entryDone, Key: key, Worker: worker, Lease: lease, Dup: true})
+		return true, nil
+	default:
+		if cl.state == stateLeased && cl.worker == worker && cl.lease == lease {
+			c.dropHeldLocked(worker)
+		}
+		cl.state = stateDone
+		cl.results = res
+		cl.err = nil
+		c.completed++
+		close(cl.done)
+	}
+	c.mu.Unlock()
+	c.appendJournal(JournalEntry{T: entryDone, Key: key, Worker: worker, Lease: lease, Orphan: orphan})
+	return false, nil
+}
+
+// completeFailed records a worker-reported execution error (a validation
+// failure, a panic — not a lost coordinator or a cancelled worker, which
+// release instead). The campaign surfaces it through Execute.
+func (c *Coordinator) completeFailed(worker, key string, now time.Time, workerErr string) error {
+	c.mu.Lock()
+	c.touchLocked(worker, now)
+	cl := c.cells[key]
+	if cl == nil || cl.state == stateDone || cl.state == stateFailed {
+		c.mu.Unlock()
+		return nil // too late to matter; done wins over a racing failure
+	}
+	if cl.state == stateLeased && cl.worker == worker {
+		c.dropHeldLocked(worker)
+	}
+	cl.state = stateFailed
+	cl.err = fmt.Errorf("coord: worker %s: %s", worker, workerErr)
+	c.failed++
+	close(cl.done)
+	c.mu.Unlock()
+	c.appendJournal(JournalEntry{T: entryFail, Key: key, Worker: worker, Err: workerErr})
+	return nil
+}
+
+// Release returns a still-held lease to the pending queue (a draining
+// worker giving back work it will not finish). Stale leases are ignored.
+func (c *Coordinator) Release(worker, key string, lease uint64) {
+	now := c.now()
+	c.mu.Lock()
+	c.touchLocked(worker, now)
+	cl := c.cells[key]
+	if cl == nil || cl.state != stateLeased || cl.lease != lease {
+		c.mu.Unlock()
+		return
+	}
+	cl.state = statePending
+	cl.worker = ""
+	// Front of the queue: the cell has already waited out one grant, so it
+	// should not also wait out the whole backlog again.
+	c.pending = append([]string{key}, c.pending...)
+	c.released++
+	c.dropHeldLocked(worker)
+	c.mu.Unlock()
+	c.appendJournal(JournalEntry{T: entryRelease, Key: key, Worker: worker, Lease: lease})
+}
+
+// expireLocked re-queues every lease whose deadline has passed and returns
+// the journal entries to append once the caller drops c.mu. Called on each
+// lease/heartbeat, so expiry latency is bounded by the fleet's poll
+// interval — no background sweeper goroutine to leak.
+func (c *Coordinator) expireLocked(now time.Time) []JournalEntry {
+	var entries []JournalEntry
+	for _, cl := range c.cells {
+		if cl.state == stateLeased && now.After(cl.deadline) {
+			c.log.Warn("lease expired, re-queueing cell",
+				"key", cl.key, "worker", cl.worker, "lease", cl.lease)
+			entries = append(entries, JournalEntry{
+				T: entryExpire, Key: cl.key, Worker: cl.worker, Lease: cl.lease,
+			})
+			c.dropHeldLocked(cl.worker)
+			cl.state = statePending
+			cl.worker = ""
+			// Re-queue at the front: an expired cell is the campaign's
+			// oldest work, and the chaos bar (re-lease latency bounded by
+			// TTL + one poll interval) depends on it not re-joining the
+			// back of the backlog.
+			c.pending = append([]string{cl.key}, c.pending...)
+			c.expired++
+		}
+	}
+	return entries
+}
+
+func (c *Coordinator) touchLocked(worker string, now time.Time) {
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[worker] = w
+	}
+	w.lastSeen = now
+}
+
+func (c *Coordinator) dropHeldLocked(worker string) {
+	if w := c.workers[worker]; w != nil && w.held > 0 {
+		w.held--
+	}
+}
+
+func (c *Coordinator) appendJournal(e JournalEntry) {
+	if err := c.journal.Append(e); err != nil {
+		// Accounting loss only: results are durable in the store.
+		c.log.Warn("journal append failed", "t", e.T, "key", e.Key, "err", err)
+	}
+}
+
+// WorkerStatus is one fleet member's occupancy as seen by the coordinator.
+type WorkerStatus struct {
+	Name       string  `json:"name"`
+	Held       int     `json:"held"`
+	LastSeenMS float64 `json:"last_seen_ms"` // age of last contact
+}
+
+// LeaseStatus is one outstanding lease.
+type LeaseStatus struct {
+	Key    string  `json:"key"`
+	Label  string  `json:"label,omitempty"`
+	Worker string  `json:"worker"`
+	AgeMS  float64 `json:"age_ms"`
+	Grants int     `json:"grants"` // grants this incarnation (>1 ⇒ re-leased)
+}
+
+// Status is the coordinator's public state, merged into /runs and served on
+// /coord/status.
+type Status struct {
+	Ready      bool           `json:"ready"`
+	Pending    int            `json:"pending"`
+	Leased     int            `json:"leased"`
+	Done       int            `json:"done"`
+	Failed     int            `json:"failed"`
+	Granted    uint64         `json:"granted"`
+	Expired    uint64         `json:"expired"`
+	Released   uint64         `json:"released"`
+	Completed  uint64         `json:"completed"`
+	Duplicates uint64         `json:"duplicates"`
+	Orphans    uint64         `json:"orphans"`
+	ReLeases   int            `json:"re_leases"`
+	Workers    []WorkerStatus `json:"workers,omitempty"`
+	Leases     []LeaseStatus  `json:"leases,omitempty"`
+}
+
+// ReLeases counts cells granted more than once, across every coordinator
+// incarnation sharing the journal: Σ max(0, grants−1) over live cells plus
+// the same sum over replayed history for keys not re-enqueued here.
+func (c *Coordinator) ReLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reLeasesLocked()
+}
+
+func (c *Coordinator) reLeasesLocked() int {
+	n := 0
+	for key, cl := range c.cells {
+		g := cl.grants
+		if h := c.hist[key]; h != nil {
+			g += h.Grants
+		}
+		if g > 1 {
+			n += g - 1
+		}
+	}
+	for key, h := range c.hist {
+		if _, live := c.cells[key]; !live && h.Grants > 1 {
+			n += h.Grants - 1
+		}
+	}
+	return n
+}
+
+// Status snapshots the queue, fleet occupancy and lease ages.
+func (c *Coordinator) Status() Status {
+	now := c.now()
+	ready, _ := c.Ready()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Ready:      ready,
+		Granted:    c.granted,
+		Expired:    c.expired,
+		Released:   c.released,
+		Completed:  c.completed,
+		Duplicates: c.duplicates,
+		Orphans:    c.orphans,
+		ReLeases:   c.reLeasesLocked(),
+	}
+	for _, cl := range c.cells {
+		switch cl.state {
+		case statePending:
+			s.Pending++
+		case stateLeased:
+			s.Leased++
+			s.Leases = append(s.Leases, LeaseStatus{
+				Key:    cl.key,
+				Label:  cl.label,
+				Worker: cl.worker,
+				AgeMS:  float64(now.Sub(cl.leasedAt)) / float64(time.Millisecond),
+				Grants: cl.grants,
+			})
+		case stateDone:
+			s.Done++
+		case stateFailed:
+			s.Failed++
+		}
+	}
+	for name, w := range c.workers {
+		s.Workers = append(s.Workers, WorkerStatus{
+			Name:       name,
+			Held:       w.held,
+			LastSeenMS: float64(now.Sub(w.lastSeen)) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Name < s.Workers[j].Name })
+	sort.Slice(s.Leases, func(i, j int) bool { return s.Leases[i].Key < s.Leases[j].Key })
+	return s
+}
+
+// RegisterMetrics exposes the fabric counters on the observability plane's
+// /metrics endpoint under the coord scope.
+func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
+	sc := reg.Scope("coord")
+	snap := func(pick func(Status) float64) func() float64 {
+		return func() float64 { return pick(c.Status()) }
+	}
+	sc.CounterFunc("granted", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.granted })
+	sc.CounterFunc("expired", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.expired })
+	sc.CounterFunc("released", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.released })
+	sc.CounterFunc("completed", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.completed })
+	sc.CounterFunc("duplicates", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.duplicates })
+	sc.CounterFunc("orphans", func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.orphans })
+	sc.Gauge("pending", snap(func(s Status) float64 { return float64(s.Pending) }))
+	sc.Gauge("leased", snap(func(s Status) float64 { return float64(s.Leased) }))
+	sc.Gauge("workers", snap(func(s Status) float64 { return float64(len(s.Workers)) }))
+	sc.Gauge("re_leases", snap(func(s Status) float64 { return float64(s.ReLeases) }))
+}

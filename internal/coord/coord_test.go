@@ -1,0 +1,412 @@
+package coord
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmos/internal/runner"
+	"cosmos/internal/secmem"
+	"cosmos/internal/sim"
+)
+
+// fakeClock is an injectable, advanceable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testSpec(seed uint64) runner.Spec {
+	return runner.Spec{Workload: "mcf", Design: secmem.DesignNP(), Accesses: 1000, Seed: seed}
+}
+
+// testResults builds a distinguishable (but fake) result payload; the
+// coordinator treats results as opaque bytes to persist.
+func testResults(cycles uint64) sim.Results {
+	return sim.Results{Cycles: cycles, Accesses: 1000}
+}
+
+func newTestCoordinator(t *testing.T, clock *fakeClock) (*Coordinator, *runner.Store) {
+	t.Helper()
+	st, err := runner.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: st, TTL: 10 * time.Second}
+	if clock != nil {
+		cfg.Clock = clock.Now
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, st
+}
+
+// execAsync starts Execute in the background and returns channels with its
+// outcome.
+func execAsync(ctx context.Context, c *Coordinator, spec runner.Spec) (<-chan sim.Results, <-chan error) {
+	resCh := make(chan sim.Results, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := c.Execute(ctx, spec.Key(), "cell", spec, nil)
+		resCh <- r
+		errCh <- err
+	}()
+	return resCh, errCh
+}
+
+func TestLeaseGrantCompleteLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	c, st := newTestCoordinator(t, clock)
+	spec := testSpec(1)
+	key := spec.Key()
+
+	startedCh := make(chan struct{})
+	resCh := make(chan sim.Results, 1)
+	go func() {
+		r, err := c.Execute(context.Background(), key, "cell", spec, func() { close(startedCh) })
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- r
+	}()
+
+	// The cell must become leasable.
+	var g Grant
+	waitFor(t, func() bool {
+		var granted bool
+		var err error
+		g, granted, err = c.Lease("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return granted
+	})
+	if g.Key != key || g.Lease == 0 || g.TTL != 10*time.Second {
+		t.Fatalf("grant = %+v", g)
+	}
+	select {
+	case <-startedCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("started callback never fired on first grant")
+	}
+	if !reflect.DeepEqual(g.Spec, spec) {
+		t.Fatal("grant carries a different spec")
+	}
+
+	// Heartbeats extend the lease.
+	if !c.Heartbeat("w1", key, g.Lease) {
+		t.Fatal("live lease heartbeat rejected")
+	}
+
+	want := testResults(42)
+	dup, err := c.Complete("w1", key, g.Lease, spec, want, "")
+	if err != nil || dup {
+		t.Fatalf("complete: dup=%v err=%v", dup, err)
+	}
+	got := <-resCh
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Execute returned %+v, want %+v", got, want)
+	}
+	// Persist-then-acknowledge: the store already has the record.
+	if r, ok := st.Get(context.Background(), key); !ok || !reflect.DeepEqual(r, want) {
+		t.Fatalf("store missing completed cell: ok=%v r=%+v", ok, r)
+	}
+	s := c.Status()
+	if s.Completed != 1 || s.Done != 1 || s.Granted != 1 || s.ReLeases != 0 {
+		t.Fatalf("status = %+v", s)
+	}
+}
+
+// TestLeaseExpiryReLease: a worker that stops heartbeating loses its cell
+// to the next Lease call; its stale heartbeat and upload are then handled
+// as zombie traffic (upload accepted once, duplicate after).
+func TestLeaseExpiryReLease(t *testing.T) {
+	clock := newFakeClock()
+	c, _ := newTestCoordinator(t, clock)
+	spec := testSpec(2)
+	key := spec.Key()
+	resCh, errCh := execAsync(context.Background(), c, spec)
+
+	var g1 Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g1, ok, _ = c.Lease("w1")
+		return ok
+	})
+
+	// TTL passes with no heartbeat: the next lease poll re-grants to w2.
+	clock.Advance(11 * time.Second)
+	var g2 Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g2, ok, _ = c.Lease("w2")
+		return ok
+	})
+	if g2.Key != key || g2.Lease == g1.Lease {
+		t.Fatalf("re-lease got %+v (original %+v)", g2, g1)
+	}
+	if c.Heartbeat("w1", key, g1.Lease) {
+		t.Fatal("stale lease heartbeat accepted")
+	}
+	if c.ReLeases() != 1 {
+		t.Fatalf("ReLeases = %d, want 1", c.ReLeases())
+	}
+
+	// The zombie (w1) uploads first: accepted — results are deterministic,
+	// and refusing would only delay the campaign.
+	want := testResults(7)
+	dup, err := c.Complete("w1", key, g1.Lease, spec, want, "")
+	if err != nil || dup {
+		t.Fatalf("zombie upload: dup=%v err=%v", dup, err)
+	}
+	if got := <-resCh; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Execute got %+v", got)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// w2 finishes later: pure duplicate, exactly-once recording holds.
+	dup, err = c.Complete("w2", key, g2.Lease, spec, want, "")
+	if err != nil || !dup {
+		t.Fatalf("post-completion upload: dup=%v err=%v", dup, err)
+	}
+	s := c.Status()
+	if s.Completed != 1 || s.Duplicates != 1 || s.Expired != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+
+	// The journal cross-check: exactly one non-dup done for the key.
+	hist, _, err := c.journal.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hist[key]
+	if h == nil || !h.Done || h.Dups != 1 || h.Grants != 2 {
+		t.Fatalf("journal history = %+v, want done once, 1 dup, 2 grants", h)
+	}
+}
+
+func TestDoubleCompleteSameWorker(t *testing.T) {
+	c, _ := newTestCoordinator(t, nil)
+	spec := testSpec(3)
+	key := spec.Key()
+	execAsync(context.Background(), c, spec)
+	var g Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g, ok, _ = c.Lease("w1")
+		return ok
+	})
+	if dup, err := c.Complete("w1", key, g.Lease, spec, testResults(1), ""); dup || err != nil {
+		t.Fatalf("first complete: dup=%v err=%v", dup, err)
+	}
+	// A retried upload (the worker never saw the first 200) must be a no-op.
+	if dup, err := c.Complete("w1", key, g.Lease, spec, testResults(1), ""); !dup || err != nil {
+		t.Fatalf("second complete: dup=%v err=%v", dup, err)
+	}
+	if s := c.Status(); s.Completed != 1 || s.Duplicates != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+}
+
+// TestZombieUploadAcrossRestart: coordinator A grants a cell and "crashes";
+// coordinator B recovers from the same journal+store; the worker's upload
+// lands on B, which never enqueued the key. B accepts it as an orphan; a
+// retry is a duplicate.
+func TestZombieUploadAcrossRestart(t *testing.T) {
+	st, err := runner.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(4)
+	key := spec.Key()
+
+	a, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errCh := execAsync(ctx, a, spec)
+	var g Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g, ok, _ = a.Lease("w1")
+		return ok
+	})
+	cancel() // the campaign context dies with coordinator A
+	if err := <-errCh; err == nil {
+		t.Fatal("Execute survived its context")
+	}
+	a.Close()
+
+	b, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// The worker (which never heard about the crash) uploads to B.
+	want := testResults(9)
+	dup, err := b.Complete("w1", key, g.Lease, spec, want, "")
+	if err != nil || dup {
+		t.Fatalf("orphan upload: dup=%v err=%v", dup, err)
+	}
+	if r, ok := st.Get(context.Background(), key); !ok || !reflect.DeepEqual(r, want) {
+		t.Fatalf("orphan result not persisted: ok=%v", ok)
+	}
+	if s := b.Status(); s.Orphans != 1 || s.Completed != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+	// Upload retry: now a duplicate, still flagged orphan-side.
+	if dup, err := b.Complete("w1", key, g.Lease, spec, want, ""); !dup || err != nil {
+		t.Fatalf("orphan retry: dup=%v err=%v", dup, err)
+	}
+
+	// Cross-restart ledger: the grant came from A, the single non-dup done
+	// from B, and replay sees exactly one completion.
+	hist, maxLease, err := b.journal.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := hist[key]; h == nil || !h.Done || h.Grants != 1 || h.Dups != 1 {
+		t.Fatalf("ledger = %+v, want 1 grant, done once, 1 dup", h)
+	}
+	if maxLease != g.Lease {
+		t.Fatalf("maxLease = %d, want %d", maxLease, g.Lease)
+	}
+
+	// And an Execute on B for the already-done key returns instantly.
+	if r, err := b.Execute(context.Background(), key, "cell", spec, nil); err != nil || !reflect.DeepEqual(r, want) {
+		t.Fatalf("Execute after orphan completion: r=%+v err=%v", r, err)
+	}
+}
+
+// TestReleaseRequeues: a draining worker hands its lease back and the cell
+// is immediately grantable again — no TTL wait.
+func TestReleaseRequeues(t *testing.T) {
+	c, _ := newTestCoordinator(t, nil)
+	spec := testSpec(5)
+	key := spec.Key()
+	execAsync(context.Background(), c, spec)
+	var g Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g, ok, _ = c.Lease("w1")
+		return ok
+	})
+	c.Release("w1", key, g.Lease)
+	g2, ok, err := c.Lease("w2")
+	if err != nil || !ok || g2.Key != key || g2.Lease == g.Lease {
+		t.Fatalf("release did not requeue: ok=%v g2=%+v err=%v", ok, g2, err)
+	}
+	// A stale release (after re-grant) is ignored.
+	c.Release("w1", key, g.Lease)
+	if s := c.Status(); s.Leased != 1 || s.Released != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+}
+
+// TestWorkerErrorFailsCell: a real execution error (not a drain) surfaces
+// through Execute and marks the cell failed.
+func TestWorkerErrorFailsCell(t *testing.T) {
+	c, _ := newTestCoordinator(t, nil)
+	spec := testSpec(6)
+	key := spec.Key()
+	_, errCh := execAsync(context.Background(), c, spec)
+	var g Grant
+	waitFor(t, func() bool {
+		var ok bool
+		g, ok, _ = c.Lease("w1")
+		return ok
+	})
+	if dup, err := c.Complete("w1", key, g.Lease, spec, sim.Results{}, "spec exploded"); dup || err != nil {
+		t.Fatalf("fail upload: dup=%v err=%v", dup, err)
+	}
+	err := <-errCh
+	if err == nil || err.Error() != "coord: worker w1: spec exploded" {
+		t.Fatalf("Execute error = %v", err)
+	}
+	if s := c.Status(); s.Failed != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+}
+
+func TestClosedCoordinator(t *testing.T) {
+	c, _ := newTestCoordinator(t, nil)
+	c.Close()
+	if _, _, err := c.Lease("w1"); err != ErrClosed {
+		t.Fatalf("Lease after close: %v", err)
+	}
+	if _, err := c.Execute(context.Background(), "k", "l", testSpec(7), nil); err != ErrClosed {
+		t.Fatalf("Execute after close: %v", err)
+	}
+	if ready, _ := c.Ready(); ready {
+		t.Fatal("closed coordinator reports ready")
+	}
+}
+
+func TestNotReadyBeforeRecover(t *testing.T) {
+	st, err := runner.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if ready, reason := c.Ready(); ready || reason == "" {
+		t.Fatalf("unrecovered coordinator ready=%v reason=%q", ready, reason)
+	}
+	if _, ok, err := c.Lease("w1"); ok || err != nil {
+		t.Fatalf("unready coordinator leased: ok=%v err=%v", ok, err)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out; Execute enqueues
+// from a goroutine, so grants become available asynchronously.
+// waitFor polls cond until it holds. The deadline is generous because the
+// race detector on a small CI box slows real simulations by an order of
+// magnitude; correctness tests must not double as latency tests.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -1,0 +1,170 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cosmos/internal/runner"
+	"cosmos/internal/sim"
+)
+
+// Wire protocol, mounted on the coordinator's observability plane:
+//
+//	POST /coord/lease      {worker}                    → 200 leaseResponse
+//	                                                     204 nothing pending (poll again)
+//	                                                     410 campaign over (drain and exit)
+//	                                                     503 journal not replayed yet
+//	POST /coord/heartbeat  {worker,key,lease}          → 200 | 410 lease lost
+//	POST /coord/result     {worker,key,lease,spec,
+//	                        results,err}               → 200 resultResponse{dup}
+//	POST /coord/release    {worker,leases:[{key,lease}]} → 200
+//	GET  /coord/status                                 → 200 Status
+//
+// Everything is plain JSON over the stdlib HTTP stack — the fabric rides
+// the same listener as /metrics and /runs, so one address serves both
+// humans and workers.
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	Key   string      `json:"key"`
+	Label string      `json:"label,omitempty"`
+	Spec  runner.Spec `json:"spec"`
+	Lease uint64      `json:"lease"`
+	TTLMS int64       `json:"ttl_ms"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Lease  uint64 `json:"lease"`
+}
+
+type resultRequest struct {
+	Worker  string      `json:"worker"`
+	Key     string      `json:"key"`
+	Lease   uint64      `json:"lease"`
+	Spec    runner.Spec `json:"spec"`
+	Results sim.Results `json:"results"`
+	Err     string      `json:"err,omitempty"`
+}
+
+type resultResponse struct {
+	Dup bool `json:"dup"`
+}
+
+type heldLease struct {
+	Key   string `json:"key"`
+	Lease uint64 `json:"lease"`
+}
+
+type releaseRequest struct {
+	Worker string      `json:"worker"`
+	Leases []heldLease `json:"leases"`
+}
+
+// Mount registers the fabric endpoints on mux (pass this as obs
+// Config.Attach so the routes share the campaign's observability plane).
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/coord/lease", c.handleLease)
+	mux.HandleFunc("/coord/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/coord/result", c.handleResult)
+	mux.HandleFunc("/coord/release", c.handleRelease)
+	mux.HandleFunc("/coord/status", c.handleStatus)
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var req T
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return req, false
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[leaseRequest](w, r)
+	if !ok {
+		return
+	}
+	if ready, reason := c.Ready(); !ready {
+		select {
+		case <-c.closed:
+			http.Error(w, "campaign over", http.StatusGone)
+		default:
+			http.Error(w, reason, http.StatusServiceUnavailable)
+		}
+		return
+	}
+	g, granted, err := c.Lease(req.Worker)
+	if err != nil {
+		http.Error(w, "campaign over", http.StatusGone)
+		return
+	}
+	if !granted {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, leaseResponse{
+		Key:   g.Key,
+		Label: g.Label,
+		Spec:  g.Spec,
+		Lease: g.Lease,
+		TTLMS: int64(g.TTL / time.Millisecond),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[heartbeatRequest](w, r)
+	if !ok {
+		return
+	}
+	if !c.Heartbeat(req.Worker, req.Key, req.Lease) {
+		http.Error(w, "lease lost", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[resultRequest](w, r)
+	if !ok {
+		return
+	}
+	dup, err := c.Complete(req.Worker, req.Key, req.Lease, req.Spec, req.Results, req.Err)
+	if err != nil {
+		// Persistence failed: the worker must retry so the result is not
+		// lost — 500 keeps it in the upload loop.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, resultResponse{Dup: dup})
+}
+
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[releaseRequest](w, r)
+	if !ok {
+		return
+	}
+	for _, h := range req.Leases {
+		c.Release(req.Worker, h.Key, h.Lease)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}

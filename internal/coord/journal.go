@@ -1,0 +1,187 @@
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"cosmos/internal/flock"
+)
+
+// The journal is the coordinator's append-only ledger, written next to the
+// result store (<results-dir>/coord.journal): one JSONL entry per lease
+// grant, expiry, voluntary release, completion and failure. It exists for
+// two reasons:
+//
+//   - restart continuity: a coordinator reopened over the same directory
+//     replays the journal to recover per-cell grant counts, re-lease
+//     totals and completion history, so the campaign's accounting (and the
+//     ≥1-re-lease chaos assertions) survive a coordinator crash — the
+//     results themselves are the store's job;
+//   - the exactly-once cross-check: every store-indexed key must have
+//     exactly one non-duplicate "done" entry. Zombie and duplicated
+//     uploads land as dup entries, so the ledger proves no cell's results
+//     were recorded twice and none were lost.
+//
+// Appends go through the same flock(2) discipline as the store index, so a
+// second process sharing the directory cannot interleave torn lines.
+// Entries are not fsynced: losing the tail on a host crash costs only
+// accounting (a re-lease counter, a dup tally), never results.
+
+// journalVersion stamps every entry; unknown versions are skipped on
+// replay rather than misread.
+const journalVersion = "cosmos-coord-v1"
+
+// Entry kinds.
+const (
+	entryGrant   = "grant"
+	entryExpire  = "expire"
+	entryRelease = "release"
+	entryDone    = "done"
+	entryFail    = "fail"
+)
+
+// JournalEntry is one line of coord.journal.
+type JournalEntry struct {
+	V      string `json:"v"`
+	T      string `json:"t"` // grant | expire | release | done | fail
+	Key    string `json:"key"`
+	Worker string `json:"worker,omitempty"`
+	Lease  uint64 `json:"lease,omitempty"`
+	// Dup marks a done entry for a cell whose results were already
+	// recorded (zombie or duplicated upload): a no-op by construction.
+	Dup bool `json:"dup,omitempty"`
+	// Orphan marks a done entry uploaded for a cell the (restarted)
+	// coordinator had not enqueued yet — accepted because results are
+	// deterministic and content-addressed.
+	Orphan   bool   `json:"orphan,omitempty"`
+	Err      string `json:"err,omitempty"`
+	AtUnixMS int64  `json:"at_unix_ms"`
+}
+
+// Journal appends and replays the coordinator ledger.
+type Journal struct {
+	path string
+	now  func() time.Time
+
+	mu sync.Mutex
+}
+
+// OpenJournal opens (creating if needed) the ledger at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coord: open journal %s: %w", path, err)
+	}
+	f.Close()
+	return &Journal{path: path, now: time.Now}, nil
+}
+
+// Path returns the ledger's file path.
+func (j *Journal) Path() string { return j.path }
+
+func (j *Journal) lockPath() string { return j.path + ".lock" }
+
+// Append writes one entry under the cross-process lock. Errors are
+// surfaced but the coordinator treats them as non-fatal accounting loss:
+// the store, not the journal, is the source of truth for results.
+func (j *Journal) Append(e JournalEntry) error {
+	e.V = journalVersion
+	e.AtUnixMS = j.now().UnixMilli()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("coord: encode journal entry: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return flock.With(j.lockPath(), func() error {
+		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write(append(line, '\n'))
+		return err
+	})
+}
+
+// History is the replayed per-key ledger state.
+type History struct {
+	// Grants counts lease grants across all coordinator incarnations.
+	Grants int
+	// Done reports whether a non-duplicate completion was recorded.
+	Done bool
+	// Dups counts duplicate (no-op) completions.
+	Dups int
+	// Expires / Releases count lost and voluntarily returned leases.
+	Expires  int
+	Releases int
+	// Failed carries the terminal error of a failed cell ("" = none).
+	Failed string
+}
+
+// Replay reads the whole ledger, tolerating a torn tail and unknown
+// versions exactly like the store index: damaged entries cost their own
+// accounting only. Returns per-key history plus the highest lease id seen,
+// so a restarted coordinator never reissues a live lease id.
+func (j *Journal) Replay() (map[string]*History, uint64, error) {
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*History{}, 0, nil
+		}
+		return nil, 0, fmt.Errorf("coord: open journal: %w", err)
+	}
+	defer f.Close()
+
+	hist := make(map[string]*History)
+	var maxLease uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.V != journalVersion || e.Key == "" {
+			continue
+		}
+		h := hist[e.Key]
+		if h == nil {
+			h = &History{}
+			hist[e.Key] = h
+		}
+		if e.Lease > maxLease {
+			maxLease = e.Lease
+		}
+		switch e.T {
+		case entryGrant:
+			h.Grants++
+		case entryExpire:
+			h.Expires++
+		case entryRelease:
+			h.Releases++
+		case entryDone:
+			if e.Dup {
+				h.Dups++
+			} else if h.Done {
+				// A second non-dup done for the same key would break the
+				// exactly-once ledger; keep it visible as a dup rather than
+				// silently folding it away.
+				h.Dups++
+				slog.Warn("coord: journal carries a second completion for a key, counting as duplicate",
+					"key", e.Key)
+			} else {
+				h.Done = true
+			}
+		case entryFail:
+			h.Failed = e.Err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		slog.Warn("coord: journal read stopped early, keeping parsed prefix",
+			"path", j.path, "entries", len(hist), "err", err)
+	}
+	return hist, maxLease, nil
+}

@@ -1,0 +1,121 @@
+package coord
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []JournalEntry{
+		{T: entryGrant, Key: "a", Worker: "w1", Lease: 1},
+		{T: entryExpire, Key: "a", Worker: "w1", Lease: 1},
+		{T: entryGrant, Key: "a", Worker: "w2", Lease: 2},
+		{T: entryDone, Key: "a", Worker: "w2", Lease: 2},
+		{T: entryDone, Key: "a", Worker: "w1", Lease: 1, Dup: true},
+		{T: entryGrant, Key: "b", Worker: "w1", Lease: 3},
+		{T: entryRelease, Key: "b", Worker: "w1", Lease: 3},
+		{T: entryFail, Key: "c", Worker: "w2", Err: "boom"},
+		{T: entryDone, Key: "d", Worker: "w3", Lease: 9, Orphan: true},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replay through a fresh handle, as a restarted coordinator would.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, maxLease, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLease != 9 {
+		t.Fatalf("maxLease = %d, want 9", maxLease)
+	}
+	a := hist["a"]
+	if a == nil || a.Grants != 2 || !a.Done || a.Dups != 1 || a.Expires != 1 {
+		t.Fatalf("history a = %+v, want 2 grants, done, 1 dup, 1 expire", a)
+	}
+	b := hist["b"]
+	if b == nil || b.Grants != 1 || b.Done || b.Releases != 1 {
+		t.Fatalf("history b = %+v, want 1 grant, not done, 1 release", b)
+	}
+	if c := hist["c"]; c == nil || c.Failed != "boom" {
+		t.Fatalf("history c = %+v, want failed=boom", c)
+	}
+	if d := hist["d"]; d == nil || !d.Done {
+		t.Fatalf("history d = %+v, want done (orphan counts as completion)", d)
+	}
+}
+
+func TestJournalReplayMissingFile(t *testing.T) {
+	j := &Journal{path: filepath.Join(t.TempDir(), "never-written.journal")}
+	hist, maxLease, err := j.Replay()
+	if err != nil || len(hist) != 0 || maxLease != 0 {
+		t.Fatalf("missing journal must replay empty: hist=%v max=%d err=%v", hist, maxLease, err)
+	}
+}
+
+// TestJournalReplayTornTail: a coordinator killed mid-append leaves a
+// partial line; replay keeps every whole entry and never errors.
+func TestJournalReplayTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{T: entryGrant, Key: "a", Worker: "w1", Lease: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{T: entryDone, Key: "a", Worker: "w1", Lease: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":"cosmos-coord-v1","t":"grant","key":"trun`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	hist, _, err := j.Replay()
+	if err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if a := hist["a"]; a == nil || a.Grants != 1 || !a.Done {
+		t.Fatalf("intact prefix lost behind torn tail: %+v", a)
+	}
+	if _, leaked := hist["trun"]; leaked {
+		t.Fatal("partial entry parsed as real")
+	}
+}
+
+// TestJournalSecondNonDupDone: a second bare done for the same key (a
+// journal that should be impossible to write, but replay must not trust
+// that) is folded into the dup count, preserving the exactly-once ledger.
+func TestJournalSecondNonDupDone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(JournalEntry{T: entryDone, Key: "a", Worker: "w1", Lease: 1})
+	j.Append(JournalEntry{T: entryDone, Key: "a", Worker: "w2", Lease: 2})
+	hist, _, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := hist["a"]; a == nil || !a.Done || a.Dups != 1 {
+		t.Fatalf("history a = %+v, want done with 1 dup", a)
+	}
+}

@@ -1,0 +1,31 @@
+// Package flock provides an advisory file lock for serialising appends to
+// shared files (the result store's index.jsonl, the coordinator's journal)
+// across processes. The lock is a kernel flock(2): it is released
+// automatically when the holding process exits — including SIGKILL — so a
+// crashed writer can never wedge the store the way a stale lock file would.
+package flock
+
+import "fmt"
+
+// Lock acquires an exclusive advisory lock on path (creating the file if
+// needed), blocking until the lock is available, and returns the function
+// that releases it. On platforms without flock(2) it degrades to a no-op:
+// in-process writers are still serialised by their own mutexes, only the
+// cross-process guarantee is lost.
+func Lock(path string) (unlock func(), err error) {
+	unlock, err = lock(path)
+	if err != nil {
+		return nil, fmt.Errorf("flock: lock %s: %w", path, err)
+	}
+	return unlock, nil
+}
+
+// With runs fn while holding the exclusive lock on path.
+func With(path string, fn func() error) error {
+	unlock, err := Lock(path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return fn()
+}

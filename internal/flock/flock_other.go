@@ -1,0 +1,8 @@
+//go:build !unix
+
+package flock
+
+// Without flock(2) the lock degrades to a no-op: single-process callers are
+// already serialised by their own mutexes, and the repo's supported CI and
+// deployment targets are all unix.
+func lock(string) (func(), error) { return func() {}, nil }

@@ -1,0 +1,88 @@
+package flock
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMutualExclusion hammers a shared counter file from many goroutines,
+// each doing a read-modify-write under the lock. Lost updates would show a
+// final count below goroutines×rounds.
+func TestMutualExclusion(t *testing.T) {
+	dir := t.TempDir()
+	lockPath := filepath.Join(dir, "l.lock")
+	dataPath := filepath.Join(dir, "counter")
+	if err := os.WriteFile(dataPath, []byte("0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, rounds = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := With(lockPath, func() error {
+					b, err := os.ReadFile(dataPath)
+					if err != nil {
+						return err
+					}
+					n := 0
+					for _, c := range strings.TrimSpace(string(b)) {
+						n = n*10 + int(c-'0')
+					}
+					return os.WriteFile(dataPath, []byte(itoa(n+1)), 0o644)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	b, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(b)); got != itoa(goroutines*rounds) {
+		t.Fatalf("lost updates: counter = %s, want %d", got, goroutines*rounds)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestLockCreatesFile verifies the lock file is created on demand and the
+// unlock function is idempotent enough to call exactly once per Lock.
+func TestLockCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested.lock")
+	unlock, err := Lock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("lock file not created: %v", err)
+	}
+	// Re-acquirable after release.
+	unlock2, err := Lock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock2()
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package flock
+
+import (
+	"os"
+	"syscall"
+)
+
+func lock(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		// Closing the descriptor drops the flock; the explicit unlock just
+		// surfaces it earlier when the file object lingers.
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -6,7 +6,9 @@
 //
 //	/metrics      Prometheus text exposition bridged from the telemetry
 //	              registry (plus process-level gauges)
-//	/healthz      liveness: {"status":"ok", ...}
+//	/healthz      liveness: {"status":"ok", ...} — the process is up
+//	/readyz       readiness: 200 once the component can serve (journal
+//	              replayed, fleet joined), 503 with a reason before that
 //	/buildz       build/runtime identity: go version, GOOS/GOARCH, VCS
 //	              revision, GOMAXPROCS, pid, uptime
 //	/runs         live JSON of the campaign run table (per-cell status,
@@ -19,6 +21,8 @@
 //	/phases       the online watchdog's detected phase segments and
 //	              anomalies per run
 //	/debug/pprof  the standard profiling endpoints
+//	/coord/*      when serving a distributed campaign, the lease fabric
+//	              (mounted via Config.Attach; see internal/coord)
 //
 // The plane is strictly opt-in (the cmds only start it when -listen is
 // set) and additive: it reads counters the simulator already maintains, so
@@ -64,6 +68,19 @@ type Config struct {
 	Logger *slog.Logger
 	// Heartbeat is the SSE keep-alive comment cadence (default 15s).
 	Heartbeat time.Duration
+	// Ready gates /readyz: nil means always ready; otherwise a false
+	// return (with a reason) serves 503 until the component reports ready
+	// (a coordinator replaying its journal, a worker not yet joined).
+	// /healthz stays pure liveness either way.
+	Ready func() (bool, string)
+	// Coord, when set, is merged into /runs as a "coord" object so one
+	// endpoint shows the whole distributed campaign (queue depths, fleet
+	// occupancy, lease ages, re-lease counts).
+	Coord func() any
+	// Attach, when set, registers extra routes on the server mux before it
+	// starts (the coordinator mounts /coord/* here without obs importing
+	// it).
+	Attach func(*http.ServeMux)
 }
 
 // Server is the observability-plane HTTP server.
@@ -86,6 +103,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/buildz", s.handleBuildz)
 	s.mux.HandleFunc("/runs", s.handleRuns)
 	s.mux.HandleFunc("/events", s.handleEvents)
@@ -96,6 +114,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Attach != nil {
+		cfg.Attach(s.mux)
+	}
 	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
@@ -172,6 +193,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is readiness, distinct from /healthz liveness: a live
+// process may still be warming up (journal replay, fleet join). Load
+// balancers and smoke tests poll this before sending work.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := true, ""
+	if s.cfg.Ready != nil {
+		ready, reason = s.cfg.Ready()
+	}
+	if !ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"status":    "not ready",
+			"reason":    reason,
+			"component": s.cfg.Component,
+		})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":    "ready",
+		"component": s.cfg.Component,
+		"uptime_s":  time.Since(s.start).Seconds(),
+	})
+}
+
 func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
 	info := map[string]any{
 		"component":  s.cfg.Component,
@@ -196,11 +244,20 @@ func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
-	if s.cfg.Runs == nil {
-		writeJSON(w, Snapshot{Sources: map[string]int{}, Cells: []Cell{}})
+	snap := Snapshot{Sources: map[string]int{}, Cells: []Cell{}}
+	if s.cfg.Runs != nil {
+		snap = s.cfg.Runs.Snapshot()
+	}
+	if s.cfg.Coord == nil {
+		writeJSON(w, snap)
 		return
 	}
-	writeJSON(w, s.cfg.Runs.Snapshot())
+	// Embed the coordinator's fabric view alongside the run table so one
+	// endpoint covers the whole distributed campaign.
+	writeJSON(w, struct {
+		Snapshot
+		Coord any `json:"coord"`
+	}{Snapshot: snap, Coord: s.cfg.Coord()})
 }
 
 // handleEvents serves the SSE stream: every broker event becomes one

@@ -153,13 +153,14 @@ func TestFaultResultsSurviveStoreRoundTrip(t *testing.T) {
 }
 
 func TestWithRetryTransient(t *testing.T) {
-	defer func(s func(time.Duration)) { storeSleep = s }(storeSleep)
+	defer func(s func(context.Context, time.Duration) error) { storeSleep = s }(storeSleep)
 	var slept []time.Duration
-	storeSleep = func(d time.Duration) { slept = append(slept, d) }
+	storeSleep = func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
 
+	ctx := context.Background()
 	st := &Store{}
 	fails := 2
-	err := st.withRetry(func() error {
+	err := st.withRetry(ctx, func() error {
 		if fails > 0 {
 			fails--
 			return errors.New("transient")
@@ -180,7 +181,7 @@ func TestWithRetryTransient(t *testing.T) {
 	// A permanent failure is retried to the attempt budget, then surfaced.
 	st2 := &Store{}
 	calls := 0
-	if err := st2.withRetry(func() error { calls++; return errors.New("down") }, nil); err == nil {
+	if err := st2.withRetry(ctx, func() error { calls++; return errors.New("down") }, nil); err == nil {
 		t.Fatal("permanent failure swallowed")
 	}
 	if calls != storeAttempts {
@@ -191,8 +192,28 @@ func TestWithRetryTransient(t *testing.T) {
 	st3 := &Store{}
 	calls = 0
 	sentinel := errors.New("missing")
-	err = st3.withRetry(func() error { calls++; return sentinel }, func(error) bool { return false })
+	err = st3.withRetry(ctx, func() error { calls++; return sentinel }, func(error) bool { return false })
 	if !errors.Is(err, sentinel) || calls != 1 || st3.Retries() != 0 {
 		t.Fatalf("non-retryable error retried: calls=%d retries=%d err=%v", calls, st3.Retries(), err)
+	}
+}
+
+// TestWithRetryCancelDuringBackoff proves a context cancelled while the
+// retry loop is backing off aborts the wait immediately: the op does not
+// run again and the surfaced error is the context's.
+func TestWithRetryCancelDuringBackoff(t *testing.T) {
+	st := &Store{}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := st.withRetry(ctx, func() error {
+		calls++
+		cancel() // the SIGTERM lands while the first backoff is pending
+		return errors.New("transient")
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after cancellation, want 1", calls)
 	}
 }

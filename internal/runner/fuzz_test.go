@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +19,11 @@ func FuzzLoadIndex(f *testing.F) {
 	f.Add([]byte(`{"key":""}` + "\n"))                      // empty key: skipped
 	f.Add([]byte(`[1,2,3]` + "\n" + `{"key":"ok"}` + "\n")) // wrong JSON shape then valid
 	f.Add([]byte{})
+	// Torn concurrent appends: two unlocked writers interleaving their
+	// lines mid-record, the failure mode the index flock exists to prevent.
+	f.Add([]byte(`{"key":"a","lab{"key":"b","label":"w2"}` + "\n" + `el":"w1"}` + "\n"))
+	f.Add([]byte(`{"key":"a"}{"key":"b"}` + "\n"))  // two records fused on one line
+	f.Add([]byte(`{"key":"a"}` + "\n{\"key\":\"b")) // second writer killed mid-line
 	f.Fuzz(func(t *testing.T, index []byte) {
 		dir := t.TempDir()
 		if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
@@ -38,6 +44,46 @@ func FuzzLoadIndex(f *testing.F) {
 			if e.Key == "" {
 				t.Fatal("empty-key entry kept")
 			}
+		}
+	})
+}
+
+// FuzzIndexTornAppend sandwiches arbitrary torn-write garbage between two
+// intact index lines — the shape a crashed or unlocked concurrent writer
+// leaves behind. Whatever the garbage, the two whole lines must survive:
+// corruption costs only the damaged entries, never the healthy prefix or
+// suffix.
+func FuzzIndexTornAppend(f *testing.F) {
+	f.Add([]byte(`{"key":"c","lab`))                        // half a record
+	f.Add([]byte(`{"key":"c","lab{"key":"d","label":"x"}`)) // interleaved pair
+	f.Add([]byte("\x00\xff torn binary"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, torn []byte) {
+		// Keep the torn chunk on its own line(s) — that is exactly what the
+		// flock guarantees for the intact writers around it.
+		torn = bytes.TrimRight(torn, "\n")
+		index := []byte(`{"key":"first","label":"w1","workload":"mcf","design":"NP","accesses":1,"seed":7}` + "\n")
+		index = append(index, torn...)
+		index = append(index, '\n')
+		index = append(index, []byte(`{"key":"last","label":"w2","workload":"DFS","design":"COSMOS","accesses":2,"seed":8}`+"\n")...)
+
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "index.jsonl"), index, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("OpenStore must tolerate torn appends: %v", err)
+		}
+		seen := map[string]bool{}
+		for _, e := range st.Index() {
+			seen[e.Key] = true
+		}
+		if !seen["first"] || !seen["last"] {
+			t.Fatalf("intact lines lost around torn append: kept %v", seen)
 		}
 	})
 }

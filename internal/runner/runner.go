@@ -167,10 +167,33 @@ type Options struct {
 	ParallelCores int
 }
 
+// Executor delegates the execution of a leader run request to an external
+// fabric — the coord package's lease queue is the canonical implementation.
+// Execute is called once per cache-missing key (after the store lookup and
+// singleflight coalescing have already happened) and must return the
+// deterministic Results of the spec, persisting them itself if durability
+// is wanted: the orchestrator skips its own Store.Put for delegated runs so
+// the fabric controls the write order (persist, then acknowledge).
+//
+// started, when invoked (at most once, from any goroutine), marks the
+// moment real work began — the orchestrator turns it into the PhaseRunning
+// lifecycle transition and splits queue-wait from execution time around it.
+type Executor interface {
+	Execute(ctx context.Context, key, label string, spec Spec, started func()) (sim.Results, error)
+}
+
 // Orchestrator runs simulations. Safe for concurrent use.
 type Orchestrator struct {
 	store *Store
 	sem   chan struct{}
+
+	// Executor, when non-nil, replaces local simulation for every leader
+	// request: instead of taking a worker-pool slot and calling the
+	// simulator, the orchestrator hands the spec to the executor and waits.
+	// Store lookups, memoisation, singleflight dedup, lifecycle transitions
+	// and stats accounting all still happen here, so campaign code cannot
+	// tell a delegated run from a local one.
+	Executor Executor
 
 	// Instrument, when non-nil, is invoked for every simulation actually
 	// executed (not for memoised/restored/deduplicated results), after the
@@ -385,11 +408,12 @@ func (o *Orchestrator) RunAll(ctx context.Context, specs []Spec) error {
 }
 
 // execute resolves one leader request: store lookup, worker-slot wait,
-// simulation, store write-back.
+// simulation, store write-back — or, with an Executor attached, store
+// lookup followed by delegation to the external fabric.
 func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec) (sim.Results, Event, error) {
 	if o.store != nil {
 		lookup := time.Now()
-		r, ok := o.store.Get(key)
+		r, ok := o.store.Get(ctx, key)
 		if o.Phases != nil {
 			o.Phases.Add(telemetry.PhaseStore, time.Since(lookup))
 		}
@@ -399,6 +423,10 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 			o.mu.Unlock()
 			return r, Event{Source: SourceRestored}, nil
 		}
+	}
+
+	if o.Executor != nil {
+		return o.delegate(ctx, key, label, spec)
 	}
 
 	queued := time.Now()
@@ -431,7 +459,7 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 	var putErr error
 	if o.store != nil {
 		put := time.Now()
-		putErr = o.store.Put(key, spec, res)
+		putErr = o.store.Put(ctx, key, spec, res)
 		if ph != nil {
 			ph.Add(telemetry.PhaseStore, time.Since(put))
 		}
@@ -444,6 +472,50 @@ func (o *Orchestrator) execute(ctx context.Context, key, label string, spec Spec
 	if putErr != nil {
 		return sim.Results{}, ev, fmt.Errorf("runner: persist run %s: %w", label, putErr)
 	}
+	return res, ev, nil
+}
+
+// delegate hands a leader request to the attached Executor and books the
+// outcome exactly like a local execution: the started callback becomes the
+// PhaseRunning transition and splits queue-wait (time on the fabric's queue
+// before a worker leased the cell) from execution time. The executor is
+// responsible for persistence — no Store.Put happens here, so the fabric's
+// persist-then-acknowledge ordering is the only write path.
+func (o *Orchestrator) delegate(ctx context.Context, key, label string, spec Spec) (sim.Results, Event, error) {
+	queued := time.Now()
+	var (
+		mu        sync.Mutex
+		startedAt time.Time
+	)
+	started := func() {
+		mu.Lock()
+		startedAt = time.Now()
+		wait := startedAt.Sub(queued)
+		mu.Unlock()
+		o.transition(Transition{Key: key, Label: label, Phase: PhaseRunning, QueueWait: wait})
+	}
+
+	res, err := o.Executor.Execute(ctx, key, label, spec, started)
+
+	finished := time.Now()
+	mu.Lock()
+	queueWait := finished.Sub(queued)
+	var execTime time.Duration
+	if !startedAt.IsZero() {
+		queueWait = startedAt.Sub(queued)
+		execTime = finished.Sub(startedAt)
+	}
+	mu.Unlock()
+
+	ev := Event{Source: SourceExecuted, QueueWait: queueWait, ExecTime: execTime}
+	if err != nil {
+		return sim.Results{}, ev, err
+	}
+	o.mu.Lock()
+	o.stats.Executed++
+	o.stats.QueueWait += queueWait
+	o.stats.ExecTime += execTime
+	o.mu.Unlock()
 	return res, ev, nil
 }
 

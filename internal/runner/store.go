@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cosmos/internal/flock"
 	"cosmos/internal/sim"
 )
 
@@ -75,20 +77,37 @@ const storeAttempts = 3
 
 var (
 	storeRetryBase = 5 * time.Millisecond
-	storeSleep     = time.Sleep // swapped out by tests
+	storeSleep     = sleepCtx // swapped out by tests
 )
+
+// sleepCtx sleeps for d or until ctx ends, whichever comes first, so a
+// SIGTERM landing during a retry backoff cancels the wait immediately
+// instead of sleeping out the jittered delay.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // withRetry runs op up to storeAttempts times, backing off between
 // attempts. retryable filters which errors are worth retrying (a missing
 // file never is); a nil filter retries everything. Each retried attempt is
-// counted in the store's retries counter.
-func (st *Store) withRetry(op func() error, retryable func(error) bool) error {
+// counted in the store's retries counter. Cancelling ctx during a backoff
+// aborts the wait at once and surfaces the context error.
+func (st *Store) withRetry(ctx context.Context, op func() error, retryable func(error) bool) error {
 	var err error
 	for attempt := 0; attempt < storeAttempts; attempt++ {
 		if attempt > 0 {
 			st.retries.Add(1)
 			back := storeRetryBase << (attempt - 1)
-			storeSleep(back + rand.N(back))
+			if serr := storeSleep(ctx, back+rand.N(back)); serr != nil {
+				return fmt.Errorf("runner: store retry aborted: %w", serr)
+			}
 		}
 		if err = op(); err == nil || (retryable != nil && !retryable(err)) {
 			return err
@@ -136,6 +155,13 @@ func (st *Store) Index() []IndexEntry {
 
 func (st *Store) indexPath() string { return filepath.Join(st.dir, "index.jsonl") }
 
+// lockPath is the advisory cross-process lock serialising index.jsonl
+// appends: two processes sharing a results dir (a resumed campaign racing a
+// straggler, a coordinator next to a stray single-node run) each append
+// whole lines instead of interleaving torn ones. flock(2) is released by
+// the kernel on process death, so a SIGKILLed writer never wedges the dir.
+func (st *Store) lockPath() string { return filepath.Join(st.dir, "index.lock") }
+
 func (st *Store) runPath(key string) string {
 	return filepath.Join(st.dir, "runs", key+".json")
 }
@@ -173,10 +199,11 @@ func (st *Store) loadIndex() error {
 // Get loads the results stored under key. A missing, truncated, corrupt or
 // version-mismatched record reports !ok — the orchestrator then simply
 // re-simulates, so a damaged store degrades to a slower campaign, never a
-// wrong one. Outcomes are counted (see Counters).
-func (st *Store) Get(key string) (sim.Results, bool) {
+// wrong one. Outcomes are counted (see Counters). ctx bounds retry
+// backoffs only; a read already in flight finishes.
+func (st *Store) Get(ctx context.Context, key string) (sim.Results, bool) {
 	var b []byte
-	err := st.withRetry(func() (e error) {
+	err := st.withRetry(ctx, func() (e error) {
 		b, e = os.ReadFile(st.runPath(key))
 		return e
 	}, func(e error) bool { return !os.IsNotExist(e) })
@@ -214,9 +241,10 @@ func (st *Store) Counters() (hits, misses, corrupt uint64) {
 }
 
 // Put persists one completed run: the result file is written atomically,
-// then the index gains a line. Overwriting an existing key is idempotent
-// (identical specs produce identical results).
-func (st *Store) Put(key string, spec Spec, r sim.Results) error {
+// then the index gains a line under the cross-process index lock.
+// Overwriting an existing key is idempotent (identical specs produce
+// identical results). ctx bounds retry backoffs only.
+func (st *Store) Put(ctx context.Context, key string, spec Spec, r sim.Results) error {
 	rec := runRecord{Version: storeVersion, Key: key, Spec: spec, Results: r}
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -224,7 +252,7 @@ func (st *Store) Put(key string, spec Spec, r sim.Results) error {
 	}
 	path := st.runPath(key)
 	tmp := path + ".tmp"
-	if err := st.withRetry(func() error {
+	if err := st.withRetry(ctx, func() error {
 		if e := os.WriteFile(tmp, append(b, '\n'), 0o644); e != nil {
 			return e
 		}
@@ -251,14 +279,16 @@ func (st *Store) Put(key string, spec Spec, r sim.Results) error {
 	if err != nil {
 		return fmt.Errorf("runner: encode index entry %s: %w", key, err)
 	}
-	if err := st.withRetry(func() error {
-		f, e := os.OpenFile(st.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if e != nil {
+	if err := st.withRetry(ctx, func() error {
+		return flock.With(st.lockPath(), func() error {
+			f, e := os.OpenFile(st.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if e != nil {
+				return e
+			}
+			defer f.Close()
+			_, e = f.Write(append(line, '\n'))
 			return e
-		}
-		defer f.Close()
-		_, e = f.Write(append(line, '\n'))
-		return e
+		})
 	}, nil); err != nil {
 		return err
 	}

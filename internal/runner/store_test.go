@@ -73,7 +73,7 @@ func TestStoreCorruptRecordRecomputes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st2.Get(sp.Key()); ok {
+	if _, ok := st2.Get(context.Background(), sp.Key()); ok {
 		t.Fatal("corrupt record must read as a miss")
 	}
 	o2 := New(Options{Workers: 1, Store: st2})
@@ -84,7 +84,7 @@ func TestStoreCorruptRecordRecomputes(t *testing.T) {
 		t.Fatalf("stats = %+v, want recompute", stats)
 	}
 	// The recompute healed the store.
-	if _, ok := st2.Get(sp.Key()); !ok {
+	if _, ok := st2.Get(context.Background(), sp.Key()); !ok {
 		t.Fatal("recomputed run was not re-persisted")
 	}
 }
@@ -110,7 +110,7 @@ func TestStoreVersionMismatch(t *testing.T) {
 	if err := os.WriteFile(path, mangled, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get(sp.Key()); ok {
+	if _, ok := st.Get(context.Background(), sp.Key()); ok {
 		t.Fatal("version-mismatched record must read as a miss")
 	}
 }
